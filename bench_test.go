@@ -1,0 +1,78 @@
+// Benchmarks: one per experiment of DESIGN.md §4 (E1–E10). Each benchmark
+// runs the corresponding experiment harness end to end in quick mode, so
+// `go test -bench=. -benchmem` regenerates every table the reproduction
+// reports; cmd/experiments prints the full-size variants.
+package hybridroute_test
+
+import (
+	"testing"
+
+	"hybridroute/internal/expt"
+)
+
+func benchExperiment(b *testing.B, fn func(expt.Options) (*expt.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := fn(expt.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Pass {
+			b.Fatalf("%s claim check failed:\n%s", r.ID, r.Table)
+		}
+	}
+}
+
+// BenchmarkE1Preprocess measures the full preprocessing pipeline round
+// complexity sweep (Theorem 1.2: O(log² n) rounds, polylog work per node).
+func BenchmarkE1Preprocess(b *testing.B) { benchExperiment(b, expt.E1) }
+
+// BenchmarkE2Stretch measures routing stretch of the hull router, the
+// visibility-graph router and the online baselines (Sections 3/4).
+func BenchmarkE2Stretch(b *testing.B) { benchExperiment(b, expt.E2) }
+
+// BenchmarkE3Storage measures the per-node-class storage bounds of
+// Theorem 1.2 as density grows at fixed hole geometry.
+func BenchmarkE3Storage(b *testing.B) { benchExperiment(b, expt.E3) }
+
+// BenchmarkE4HullRounds measures ring-protocol rounds against ring size
+// (Theorem 5.3).
+func BenchmarkE4HullRounds(b *testing.B) { benchExperiment(b, expt.E4) }
+
+// BenchmarkE5Hypercube verifies the per-phase round budget of the ring
+// suite (Lemma 5.2).
+func BenchmarkE5Hypercube(b *testing.B) { benchExperiment(b, expt.E5) }
+
+// BenchmarkE6Sort verifies the bitonic sorting network depth D(D+1)/2.
+func BenchmarkE6Sort(b *testing.B) { benchExperiment(b, expt.E6) }
+
+// BenchmarkE7DomSet measures dominating set approximation and rounds on
+// rings (Section 5.6).
+func BenchmarkE7DomSet(b *testing.B) { benchExperiment(b, expt.E7) }
+
+// BenchmarkE8Dynamic measures setup vs recompute rounds under mobility
+// (Section 6).
+func BenchmarkE8Dynamic(b *testing.B) { benchExperiment(b, expt.E8) }
+
+// BenchmarkE9HullSize measures the abstraction-size chain of Lemmas 4.2/4.4.
+func BenchmarkE9HullSize(b *testing.B) { benchExperiment(b, expt.E9) }
+
+// BenchmarkE10Baselines measures greedy failure and the LDel² spanner ratio
+// on the adversarial maze (§1, Theorem 2.9).
+func BenchmarkE10Baselines(b *testing.B) { benchExperiment(b, expt.E10) }
+
+// BenchmarkE11IntersectingHulls measures the intersecting-hulls extension
+// (paper §7 future work): merged hull groups keep routing correct.
+func BenchmarkE11IntersectingHulls(b *testing.B) { benchExperiment(b, expt.E11) }
+
+// BenchmarkE12Incremental measures incremental recomputation under bounded
+// churn versus full recomputation (paper §7 future work).
+func BenchmarkE12Incremental(b *testing.B) { benchExperiment(b, expt.E12) }
+
+// BenchmarkE13Ablation measures the abstraction representation ablation:
+// boundary vs locally convex hull vs convex hull (§4.1).
+func BenchmarkE13Ablation(b *testing.B) { benchExperiment(b, expt.E13) }
+
+// BenchmarkE14Economy measures long-range word budgets of the hybrid scheme
+// versus the central-server strawman of the introduction.
+func BenchmarkE14Economy(b *testing.B) { benchExperiment(b, expt.E14) }

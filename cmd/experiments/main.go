@@ -1,0 +1,100 @@
+// Command experiments runs the full experiment suite E1–E10 (see DESIGN.md)
+// and prints each result table together with its claim check; EXPERIMENTS.md
+// records a reference run.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed 1] [-only E2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hybridroute/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "run a single experiment, e.g. E2")
+	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
+	flag.Parse()
+
+	opt := expt.Options{Quick: *quick, Seed: *seed}
+	fns := map[string]func(expt.Options) (*expt.Result, error){
+		"E1": expt.E1, "E2": expt.E2, "E3": expt.E3, "E4": expt.E4, "E5": expt.E5,
+		"E6": expt.E6, "E7": expt.E7, "E8": expt.E8, "E9": expt.E9, "E10": expt.E10,
+		"E11": expt.E11, "E12": expt.E12, "E13": expt.E13, "E14": expt.E14,
+	}
+
+	var results []*expt.Result
+	if *only != "" {
+		fn, ok := fns[*only]
+		if !ok {
+			log.Fatalf("unknown experiment %q", *only)
+		}
+		r, err := fn(opt)
+		if err != nil {
+			log.Fatalf("%s: %v", *only, err)
+		}
+		results = append(results, r)
+	} else {
+		all, err := expt.All(opt)
+		if err != nil {
+			log.Fatalf("experiments: %v (after %d results)", err, len(all))
+		}
+		results = all
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("csv dir: %v", err)
+		}
+		for _, r := range results {
+			name := filepath.Join(*csvDir, r.ID+".csv")
+			if err := os.WriteFile(name, []byte(r.Table.CSV()), 0o644); err != nil {
+				log.Fatalf("write %s: %v", name, err)
+			}
+		}
+	}
+
+	failures := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("== %s: %s [%s]\n", r.ID, r.Title, status)
+		fmt.Printf("   claim: %s\n\n", r.Claim)
+		fmt.Println(indent(r.Table.String(), "   "))
+		for _, n := range r.Notes {
+			fmt.Printf("   note: %s\n", n)
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) failed their claim check\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all experiment claim checks passed")
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += prefix + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += prefix + s[start:]
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Command hybridroute runs the full pipeline on a generated scenario and
+// routes a batch of queries, reporting preprocessing cost and path stretch —
+// a one-shot demonstration of the system.
+//
+// Usage:
+//
+//	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/stats"
+	"hybridroute/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 600, "number of nodes")
+	holes := flag.Int("holes", 3, "number of convex obstacles (uniform scenario)")
+	queries := flag.Int("queries", 200, "routing queries to run")
+	seed := flag.Int64("seed", 1, "random seed")
+	scenario := flag.String("scenario", "uniform", "scenario: uniform, city or maze")
+	router := flag.String("router", "hull", "routing variant: hull (Sec. 4) or visibility (Sec. 3)")
+	flag.Parse()
+
+	sc, err := buildScenario(*scenario, *seed, *n, *holes)
+	if err != nil {
+		log.Fatalf("scenario: %v", err)
+	}
+	fmt.Printf("scenario %q: %d nodes, %d obstacles, radio range %.2f\n",
+		sc.Name, len(sc.Points), len(sc.Obstacles), sc.Radius)
+
+	g := sc.Build()
+	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed)})
+	if err != nil {
+		log.Fatalf("preprocess: %v", err)
+	}
+	r := nw.Report
+	fmt.Printf("\npreprocessing: %d rounds total (LDel %d, rings %d, tree %d, flood %d, domset %d)\n",
+		r.Rounds.Total, r.Rounds.LDel, r.Rounds.Rings, r.Rounds.Tree, r.Rounds.Flood, r.Rounds.DomSet)
+	fmt.Printf("holes: %d (hull nodes %d, boundary nodes %d), tree height %d\n",
+		r.NumHoles, r.NumHullNodes, r.NumBoundaryNodes, r.TreeHeight)
+	fmt.Printf("max communication work per node: %d messages / %d words\n", r.MaxMsgs, r.MaxWords)
+	fmt.Printf("storage (words): hull %d, boundary %d, other %d\n",
+		r.StorageHull, r.StorageBoundary, r.StorageOther)
+	if r.HullsIntersect {
+		fmt.Println("WARNING: hole hulls intersect; the paper's competitiveness assumption is violated")
+	}
+
+	rng := rand.New(rand.NewSource(*seed + 99))
+	var stretches []float64
+	delivered, fallbacks := 0, 0
+	cases := map[int]int{}
+	for i := 0; i < *queries; i++ {
+		s := sim.NodeID(rng.Intn(g.N()))
+		t := sim.NodeID(rng.Intn(g.N()))
+		if s == t {
+			continue
+		}
+		var out core.Outcome
+		if *router == "visibility" {
+			out = nw.RouteVisibility(s, t)
+		} else {
+			out = nw.Route(s, t)
+		}
+		cases[out.Case]++
+		if !out.Reached {
+			continue
+		}
+		delivered++
+		if out.PlanFallback {
+			fallbacks++
+		}
+		if _, opt, ok := g.ShortestPath(s, t); ok && opt > 0 {
+			stretches = append(stretches, out.Length(nw.LDel)/opt)
+		}
+	}
+	sum := stats.Summarize(stretches)
+	fmt.Printf("\nrouting %d queries: delivered %d, plan fallbacks %d\n", *queries, delivered, fallbacks)
+	fmt.Printf("position cases (Sec 4.3): %v\n", cases)
+	fmt.Printf("stretch vs UDG shortest path: mean %.3f, p95 %.3f, max %.3f (paper bound 35.37)\n",
+		sum.Mean, sum.P95, sum.Max)
+	if sum.Max > 35.37 {
+		fmt.Println("NOTE: max stretch exceeds the overlay bound (degenerate geometry or intersecting hulls)")
+		os.Exit(1)
+	}
+}
+
+func buildScenario(kind string, seed int64, n, holes int) (*workload.Scenario, error) {
+	switch kind {
+	case "city":
+		return workload.CityGrid(seed, 3, 3, 3, 3, 2.2, 1, 5.5)
+	case "maze":
+		return workload.Maze(seed, 14, 10, 7, 8.4, 1.2, 1, n)
+	default:
+		side := math.Sqrt(float64(n)) * 0.42
+		if side < 6 {
+			side = 6
+		}
+		obstacles := workload.RandomConvexObstacles(seed, holes, side, side, side/8, side/5, 1.2)
+		return workload.WithObstacles(seed, n, side, side, 1, obstacles)
+	}
+}

@@ -1,0 +1,116 @@
+// Command netviz reproduces the paper's Figure 1: it renders the pipeline —
+// (1) the ad hoc network with its radio holes, (2) the convex-hull
+// abstraction with bay areas shaded, (3) a c-competitive route following
+// hull-node waypoints — as three SVG files.
+//
+// Usage:
+//
+//	netviz [-out dir] [-seed 1] [-scenario uniform|city]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/viz"
+	"hybridroute/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for SVG files")
+	seed := flag.Int64("seed", 1, "random seed")
+	scenario := flag.String("scenario", "uniform", "scenario: uniform or city")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("output dir: %v", err)
+	}
+
+	var sc *workload.Scenario
+	var err error
+	switch *scenario {
+	case "city":
+		sc, err = workload.CityGrid(*seed, 2, 2, 3.2, 3.2, 2.4, 1, 5.5)
+	default:
+		obstacles := workload.RandomConvexObstacles(*seed, 3, 11, 11, 1.3, 1.9, 1.4)
+		sc, err = workload.WithObstacles(*seed, 520, 11, 11, 1, obstacles)
+	}
+	if err != nil {
+		log.Fatalf("scenario: %v", err)
+	}
+	g := sc.Build()
+	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed)})
+	if err != nil {
+		log.Fatalf("preprocess: %v", err)
+	}
+
+	base := viz.Scene{
+		Points: g.Points(),
+		Edges:  nw.LDel.Edges(),
+	}
+
+	// Stage 1: hole detection.
+	s1 := base
+	for _, h := range nw.Holes.Holes {
+		if !h.Outer {
+			s1.Holes = append(s1.Holes, h.Polygon)
+		}
+	}
+	s1.Title = "(1) radio hole detection on LDel²(V)"
+
+	// Stage 2: hull abstraction + bay areas.
+	s2 := s1
+	for _, h := range nw.Holes.Holes {
+		if len(h.Hull) >= 3 {
+			s2.Hulls = append(s2.Hulls, h.Hull)
+		}
+	}
+	for _, b := range nw.Bays {
+		s2.Bays = append(s2.Bays, b.Polygon)
+	}
+	s2.Title = "(2) convex hull abstraction with bay areas"
+
+	// Stage 3: a route around the holes.
+	rng := rand.New(rand.NewSource(*seed + 5))
+	s3 := s2
+	for tries := 0; tries < 400; tries++ {
+		a := sim.NodeID(rng.Intn(g.N()))
+		b := sim.NodeID(rng.Intn(g.N()))
+		if a == b {
+			continue
+		}
+		outc := nw.Route(a, b)
+		if !outc.Reached || len(outc.Waypoints) < 3 {
+			continue // keep looking for a route that actually detours
+		}
+		var route []geom.Point
+		for _, v := range outc.Path {
+			route = append(route, g.Point(v))
+		}
+		var wps []geom.Point
+		for _, v := range outc.Waypoints {
+			wps = append(wps, g.Point(v))
+		}
+		seg := geom.Seg(g.Point(a), g.Point(b))
+		s3.Route = route
+		s3.Waypoints = wps
+		s3.Segment = &seg
+		break
+	}
+	s3.Title = "(3) c-competitive route via hull-node waypoints"
+
+	for i, scn := range []viz.Scene{s1, s2, s3} {
+		name := filepath.Join(*out, fmt.Sprintf("figure1-stage%d.svg", i+1))
+		if err := os.WriteFile(name, []byte(viz.Render(scn, 900)), 0o644); err != nil {
+			log.Fatalf("write %s: %v", name, err)
+		}
+		fmt.Println("wrote", name)
+	}
+}

@@ -1,0 +1,136 @@
+// Command plots renders the reproduction's headline figures as SVG charts:
+// preprocessing round scaling against a c·log²n reference (Theorem 1.2) and
+// the routing-stretch comparison across methods on the maze scenario.
+//
+// Usage:
+//
+//	plots [-out dir] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/stats"
+	"hybridroute/internal/viz"
+	"hybridroute/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	writeRoundsFigure(*out, *seed)
+	writeStretchFigure(*out, *seed)
+}
+
+// writeRoundsFigure sweeps n and plots total preprocessing rounds next to a
+// fitted c·log²n curve.
+func writeRoundsFigure(dir string, seed int64) {
+	sizes := []float64{128, 256, 512, 1024}
+	var rounds []float64
+	for _, n := range sizes {
+		side := math.Sqrt(n) * 0.42
+		obstacles := workload.RandomConvexObstacles(seed, 3, side, side, side/8, side/5, 1.2)
+		sc, err := workload.WithObstacles(seed, int(n), side, side, 1, obstacles)
+		if err != nil {
+			log.Fatalf("n=%v: %v", n, err)
+		}
+		nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: uint64(seed)})
+		if err != nil {
+			log.Fatalf("n=%v: %v", n, err)
+		}
+		rounds = append(rounds, float64(nw.Report.Rounds.Total))
+	}
+	// Fit c so that the reference curve matches the largest instance.
+	last := len(sizes) - 1
+	c := rounds[last] / (math.Log2(sizes[last]) * math.Log2(sizes[last]))
+	ref := make([]float64, len(sizes))
+	for i, n := range sizes {
+		ref[i] = c * math.Log2(n) * math.Log2(n)
+	}
+	svg := viz.LineChart("Preprocessing rounds vs n (Theorem 1.2)", "nodes n", "communication rounds",
+		[]viz.Series{
+			{Name: "measured", X: sizes, Y: rounds},
+			{Name: "c·log²n", X: sizes, Y: ref, Dashed: true},
+		}, 720, 440)
+	name := filepath.Join(dir, "rounds-scaling.svg")
+	if err := os.WriteFile(name, []byte(svg), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", name)
+}
+
+// writeStretchFigure runs the maze comparison and plots mean stretch per
+// routing method (failed methods shown at zero with their delivery rate).
+func writeStretchFigure(dir string, seed int64) {
+	sc, err := workload.Maze(seed+1, 14, 10, 7, 8.4, 1.2, 1, 900)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := sc.Build()
+	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(seed)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var left, right []sim.NodeID
+	for v := 0; v < g.N(); v++ {
+		p := g.Point(sim.NodeID(v))
+		if p.X < 6 && p.Y < 6 {
+			left = append(left, sim.NodeID(v))
+		}
+		if p.X > 8.2 && p.Y < 6 {
+			right = append(right, sim.NodeID(v))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed + 8))
+	agg := map[string][]float64{}
+	const q = 100
+	for i := 0; i < q; i++ {
+		s := left[rng.Intn(len(left))]
+		t := right[rng.Intn(len(right))]
+		_, opt, ok := g.ShortestPath(s, t)
+		if !ok || opt == 0 {
+			continue
+		}
+		record := func(name string, path []sim.NodeID, reached bool) {
+			if !reached {
+				return
+			}
+			l := 0.0
+			for j := 1; j < len(path); j++ {
+				l += g.Point(path[j-1]).Dist(g.Point(path[j]))
+			}
+			agg[name] = append(agg[name], l/opt)
+		}
+		r1 := nw.Router.GreedyFace(s, t)
+		record("greedy+face", r1.Path, r1.Reached)
+		r2 := nw.Router.GOAFR(s, t)
+		record("GOAFR", r2.Path, r2.Reached)
+		r3 := nw.RouteVisibility(s, t)
+		record("visibility (Sec 3)", r3.Path, r3.Reached)
+		r4 := nw.Route(s, t)
+		record("hull (Sec 4)", r4.Path, r4.Reached)
+	}
+	var bars []viz.Bar
+	for _, m := range []string{"greedy+face", "GOAFR", "visibility (Sec 3)", "hull (Sec 4)"} {
+		bars = append(bars, viz.Bar{Label: m, Value: stats.Summarize(agg[m]).Mean})
+	}
+	svg := viz.BarChart("Mean stretch on the maze (cross-wall routes)", "mean stretch vs optimum", bars, 640, 400)
+	name := filepath.Join(dir, "stretch-maze.svg")
+	if err := os.WriteFile(name, []byte(svg), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", name)
+}

@@ -1,0 +1,15 @@
+// Package hybridroute is a reproduction of "Competitive Routing in Hybrid
+// Communication Networks" (Jung, Kolb, Scheideler, Sundermeier; SPAA 2018):
+// c-competitive routing for wireless ad hoc networks that use costly
+// long-range links only to compute a compact abstraction — the convex hulls
+// of radio holes — of the 2-localized Delaunay graph.
+//
+// The implementation lives under internal/: geometry (geom), unit disk
+// graphs (udg), Delaunay structures and hole detection (delaunay), the
+// synchronous hybrid-network simulator (sim), ring protocols with hypercube
+// emulation and distributed convex hulls (hyper), the overlay tree
+// (overlaytree), dominating sets (domset), visibility and overlay Delaunay
+// graphs (vis), online routers (routing), the assembled system (core),
+// scenario generators (workload), the experiment harness (expt) and SVG
+// rendering (viz). See README.md, DESIGN.md and EXPERIMENTS.md.
+package hybridroute

@@ -1,0 +1,62 @@
+// Quickstart: build a small hybrid network with one radio hole, preprocess
+// it with the paper's distributed pipeline, and route a message around the
+// hole with c-competitive stretch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/workload"
+)
+
+func main() {
+	// A jittered grid over [0,8]² with a radio hole: a disk of radius 1.8
+	// around the centre where no nodes exist (think: a building).
+	hole := workload.RegularPolygon(geom.Pt(4, 4), 1.8, 24, 0.1)
+	sc, err := workload.JitteredGrid(0.55, 8, 8, 1.0, [][]geom.Point{hole})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := sc.Build()
+	fmt.Printf("deployment: %d nodes, radio range %.1f, UDG connected: %v\n",
+		g.N(), g.Radius(), g.Connected())
+
+	// Run the distributed preprocessing: LDel² construction, hole detection,
+	// ring protocols (leader election, hypercube, distributed convex hull),
+	// overlay tree, hull distribution, bay-area dominating sets.
+	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preprocessing took %d communication rounds; %d holes detected\n",
+		nw.Report.Rounds.Total, nw.Report.NumHoles)
+
+	// Route across the hole: pick the node nearest (0.3, 4) and the node
+	// nearest (7.7, 4) so the straight line passes through the hole.
+	s := nearest(nw, geom.Pt(0.3, 4))
+	t := nearest(nw, geom.Pt(7.7, 4))
+	out := nw.Route(s, t)
+	if !out.Reached {
+		log.Fatalf("routing failed: %+v", out)
+	}
+
+	_, opt, _ := g.ShortestPath(s, t)
+	fmt.Printf("route %d -> %d: %d hops, %d hull-node waypoints, case %d\n",
+		s, t, out.Hops(), len(out.Waypoints), out.Case)
+	fmt.Printf("path length %.2f vs optimal %.2f — stretch %.3f (paper bound: 35.37)\n",
+		out.Length(nw.LDel), opt, out.Length(nw.LDel)/opt)
+}
+
+func nearest(nw *core.Network, p geom.Point) sim.NodeID {
+	best := sim.NodeID(0)
+	for v := 1; v < nw.G.N(); v++ {
+		if nw.G.Point(sim.NodeID(v)).Dist2(p) < nw.G.Point(best).Dist2(p) {
+			best = sim.NodeID(v)
+		}
+	}
+	return best
+}

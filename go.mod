@@ -1,0 +1,3 @@
+module hybridroute
+
+go 1.22

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/workload"
+)
+
+// Example runs the full pipeline on a deterministic deployment with one
+// radio hole and routes a message around it.
+func Example() {
+	hole := workload.RegularPolygon(geom.Pt(4, 4), 1.6, 20, 0.1)
+	sc, err := workload.JitteredGrid(0.55, 8, 8, 1.0, [][]geom.Point{hole})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("holes detected:", nw.Report.NumHoles > 0)
+	fmt.Println("tree spans network:", nw.Tree.Validate(nw.G.N()) == nil)
+
+	out := nw.Route(0, 100)
+	fmt.Println("delivered:", out.Reached)
+	// Output:
+	// holes detected: true
+	// tree spans network: true
+	// delivered: true
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/vis"
+	"hybridroute/internal/workload"
+)
+
+// interlockingHoles builds a scenario whose two holes have intersecting
+// convex hulls (an L-shape wrapping a bar).
+func interlockingHoles(t testing.TB) *Network {
+	t.Helper()
+	holeA := []geom.Point{
+		geom.Pt(3, 3), geom.Pt(8, 3), geom.Pt(8, 4.2), geom.Pt(4.2, 4.2),
+		geom.Pt(4.2, 8), geom.Pt(3, 8),
+	}
+	holeB := []geom.Point{
+		geom.Pt(5.8, 5.4), geom.Pt(9.2, 5.4), geom.Pt(9.2, 6.6), geom.Pt(5.8, 6.6),
+	}
+	sc, err := workload.JitteredGrid(0.5, 12, 11, 1, [][]geom.Point{holeA, holeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestGroupsMergeIntersectingHulls(t *testing.T) {
+	nw := interlockingHoles(t)
+	if !nw.Report.HullsIntersect {
+		t.Fatal("scenario must produce intersecting hulls")
+	}
+	if len(nw.Groups) == 0 {
+		t.Fatal("no groups built")
+	}
+	multi := 0
+	seen := map[int]bool{}
+	for _, g := range nw.Groups {
+		if len(g.Holes) > 1 {
+			multi++
+		}
+		for _, hi := range g.Holes {
+			if seen[hi] {
+				t.Fatalf("hole %d in two groups", hi)
+			}
+			seen[hi] = true
+		}
+		if len(g.Hull) >= 3 && !geom.IsConvexCCW(g.Hull) {
+			t.Fatal("group hull not convex CCW")
+		}
+		// Member hole hulls must be contained in the merged hull.
+		for _, hi := range g.Holes {
+			for _, p := range nw.Holes.Holes[hi].Hull {
+				if len(g.Hull) >= 3 && !geom.PointInConvex(p, g.Hull) {
+					t.Fatalf("member hull vertex %v outside merged hull", p)
+				}
+			}
+		}
+	}
+	if len(seen) != len(nw.Holes.Holes) {
+		t.Fatalf("groups cover %d of %d holes", len(seen), len(nw.Holes.Holes))
+	}
+	if multi == 0 {
+		t.Fatal("expected at least one multi-hole group")
+	}
+	// Merged group hulls must be pairwise disjoint.
+	for i := 0; i < len(nw.Groups); i++ {
+		for j := i + 1; j < len(nw.Groups); j++ {
+			if hullsOverlapPolys(nw.Groups[i].Hull, nw.Groups[j].Hull) {
+				t.Fatalf("merged hulls %d and %d still intersect", i, j)
+			}
+		}
+	}
+}
+
+func TestRoutingWithIntersectingHulls(t *testing.T) {
+	nw := interlockingHoles(t)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		s := sim.NodeID(rng.Intn(nw.G.N()))
+		d := sim.NodeID(rng.Intn(nw.G.N()))
+		out := nw.Route(s, d)
+		if !out.Reached {
+			t.Fatalf("route %d->%d failed (case %d)", s, d, out.Case)
+		}
+	}
+}
+
+func TestSingletonGroupsWhenHullsDisjoint(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	if nw.Report.HullsIntersect {
+		t.Skip("scenario unexpectedly has intersecting hulls")
+	}
+	for _, g := range nw.Groups {
+		if len(g.Holes) != 1 {
+			t.Fatalf("disjoint hulls must form singleton groups, got %v", g.Holes)
+		}
+	}
+	if len(nw.Groups) != len(nw.Holes.Holes) {
+		t.Fatalf("groups %d vs holes %d", len(nw.Groups), len(nw.Holes.Holes))
+	}
+}
+
+func TestIncrementalRecomputeReusesRings(t *testing.T) {
+	side := 10.0
+	obstacles := [][]geom.Point{workload.RegularPolygon(geom.Pt(5, 5), 1.8, 20, 0.1)}
+	sc, err := workload.WithObstacles(31, 500, side, side, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing moved: an incremental recompute must reuse every ring.
+	inc, err := nw.Recompute(sc.Build(), Config{Strict: true, Seed: 1, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(inc.Rings)
+	if inc.Report.RingsReused != total || total == 0 {
+		t.Fatalf("reused %d of %d rings on an unchanged deployment", inc.Report.RingsReused, total)
+	}
+	if inc.Report.Rounds.Rings != 0 {
+		t.Errorf("ring phase took %d rounds despite full reuse", inc.Report.Rounds.Rings)
+	}
+	// Results must match the original run.
+	for ring, members := range nw.Rings {
+		for v, r := range members {
+			ir := inc.Rings[ring][v]
+			if ir == nil || ir.Size != r.Size || ir.Leader != r.Leader {
+				t.Fatalf("ring %d node %d: reused result differs", ring, v)
+			}
+		}
+	}
+	// Routing still works on the reused network.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		s := sim.NodeID(rng.Intn(inc.G.N()))
+		d := sim.NodeID(rng.Intn(inc.G.N()))
+		if !inc.Route(s, d).Reached {
+			t.Fatalf("route %d->%d failed after incremental recompute", s, d)
+		}
+	}
+}
+
+func TestIncrementalRecomputePartialChurn(t *testing.T) {
+	side := 10.0
+	obstacles := workload.RandomConvexObstacles(9, 2, side, side, 1.4, 1.8, 1.5)
+	sc, err := workload.WithObstacles(32, 500, side, side, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mob := workload.NewPartialMobility(sc, 5, 0.02, 0.05) // 5% of nodes crawl
+	sc = mob.Step()
+	inc, err := nw.Recompute(sc.Build(), Config{Strict: true, Seed: 1, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Report.RingsReused == 0 {
+		t.Error("expected some rings untouched by 5% slow churn")
+	}
+	t.Logf("reused %d rings of %d", inc.Report.RingsReused, len(inc.Rings))
+}
+
+func TestRouteWithObstaclesAndOverlay(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	var boundaries [][]geom.Point
+	for _, h := range nw.Holes.Holes {
+		if len(h.Polygon) >= 3 {
+			boundaries = append(boundaries, h.Polygon)
+		}
+	}
+	domain := vis.NewDomain(boundaries)
+	overlay := vis.NewOverlay(boundaries)
+	s, _ := nw.nodeAt(nearestPt(nw, geom.Pt(0.2, 4)))
+	d, _ := nw.nodeAt(nearestPt(nw, geom.Pt(7.8, 4)))
+	o1 := nw.RouteWithObstacles(s, d, domain)
+	if !o1.Reached {
+		t.Fatalf("obstacle route failed: %+v", o1)
+	}
+	o2 := nw.RouteWithOverlay(s, d, overlay)
+	if !o2.Reached {
+		t.Fatalf("overlay route failed: %+v", o2)
+	}
+	// The overlay plan can only be as good as or worse than the visibility
+	// plan (it is a subgraph of the visibility graph).
+	if !o1.PlanFallback && !o2.PlanFallback {
+		if o2.Length(nw.LDel) < o1.Length(nw.LDel)-1e-6 {
+			t.Logf("note: overlay route shorter than visibility route (%v vs %v); possible due to different hit nodes",
+				o2.Length(nw.LDel), o1.Length(nw.LDel))
+		}
+	}
+}
+
+func TestCanonicalRingKey(t *testing.T) {
+	a := []sim.NodeID{5, 9, 2, 7}
+	b := []sim.NodeID{2, 7, 5, 9} // same cycle, rotated
+	if canonicalRingKey(a) != canonicalRingKey(b) {
+		t.Error("rotations must share a key")
+	}
+	c := []sim.NodeID{2, 5, 7, 9} // different order
+	if canonicalRingKey(a) == canonicalRingKey(c) {
+		t.Error("different cycles must differ")
+	}
+	if canonicalRingKey(nil) != "" {
+		t.Error("empty cycle")
+	}
+}
+
+// TestParallelSimEquivalent runs the whole pipeline with sequential and
+// parallel simulator stepping and requires identical reports: the
+// deterministic shard merge must reproduce sequential delivery order.
+func TestParallelSimEquivalent(t *testing.T) {
+	obstacles := workload.RandomConvexObstacles(3, 2, 10, 10, 1.3, 1.8, 1.4)
+	sc, err := workload.WithObstacles(3, 500, 10, 10, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqNW, err := preprocess(sc.Build(), Config{Strict: true, Seed: 3}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parNW, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 3, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqNW.Report != parNW.Report {
+		t.Fatalf("reports differ:\nseq: %+v\npar: %+v", seqNW.Report, parNW.Report)
+	}
+	// Spot-check a few routes agree.
+	for _, pair := range [][2]sim.NodeID{{0, 100}, {42, 333}, {7, 250}} {
+		a := seqNW.Route(pair[0], pair[1])
+		b := parNW.Route(pair[0], pair[1])
+		if a.Reached != b.Reached || len(a.Path) != len(b.Path) {
+			t.Fatalf("route %v differs between modes", pair)
+		}
+	}
+}
+
+// TestPipelineDeterministic runs the full pipeline twice with identical
+// inputs and requires identical reports: no map-iteration order may leak
+// into results.
+func TestPipelineDeterministic(t *testing.T) {
+	obstacles := workload.RandomConvexObstacles(8, 3, 10, 10, 1.2, 1.7, 1.3)
+	sc, err := workload.WithObstacles(8, 450, 10, 10, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report != b.Report {
+		t.Fatalf("reports differ across identical runs:\n%+v\n%+v", a.Report, b.Report)
+	}
+	if a.Tree.Root != b.Tree.Root || a.Tree.Height() != b.Tree.Height() {
+		t.Fatal("overlay trees differ across identical runs")
+	}
+	for i := 0; i < 10; i++ {
+		s1 := a.Route(sim.NodeID(i), sim.NodeID(a.G.N()-1-i))
+		s2 := b.Route(sim.NodeID(i), sim.NodeID(b.G.N()-1-i))
+		if len(s1.Path) != len(s2.Path) || s1.Case != s2.Case {
+			t.Fatalf("route %d differs across identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package core assembles the paper's system: given a deployment (a set of
+// nodes with a radio range whose unit disk graph is connected), Preprocess
+// runs the full distributed pipeline of Section 5 —
+//
+//	A/B/C  2-localized Delaunay graph construction (O(1) rounds),
+//	D      boundary detection and ring formation (local),
+//	E–I    per-ring pointer jumping, leader election, hypercube emulation,
+//	       angle-sum hole classification, bitonic sort and distributed
+//	       convex hull (O(log² n) rounds),
+//	J      overlay tree over long-range links (O(log² n) rounds),
+//	K      hull distribution so hull nodes can build the Overlay Delaunay
+//	       Graph (O(log n) rounds),
+//	L      per-bay-area dominating sets (O(log n) rounds)
+//
+// — and Route answers queries with c-competitive paths, dispatching the five
+// source/target position cases of Section 4.3. All communication runs on the
+// synchronous simulator, so rounds, message counts and per-node storage are
+// measured, not asserted.
+package core
+
+import (
+	"fmt"
+
+	"hybridroute/internal/delaunay"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/hyper"
+	"hybridroute/internal/overlaytree"
+	"hybridroute/internal/routing"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+	"hybridroute/internal/vis"
+)
+
+// Config controls preprocessing.
+type Config struct {
+	// Strict enables the simulator's knowledge checking (ID-introduction).
+	Strict bool
+	// Parallel steps the simulator's nodes on a worker pool each round;
+	// results are identical to sequential mode (deterministic merge).
+	Parallel bool
+	// Seed feeds the randomized dominating set protocol.
+	Seed uint64
+	// SkipDomSets skips phase L (useful for benchmarks of earlier phases).
+	SkipDomSets bool
+	// Incremental (only meaningful for Recompute) reuses ring protocol
+	// results and hull announcements for holes whose boundary ring —
+	// membership and positions — is unchanged since the previous epoch:
+	// the bounded-movement-speed extension of the paper's future work,
+	// where only the changed parts of the overlay are recomputed.
+	Incremental bool
+}
+
+// PhaseRounds records communication rounds per pipeline phase.
+type PhaseRounds struct {
+	LDel     int // A/B/C: neighbourhood exchange for LDel² construction
+	Rings    int // E–I: ring protocols (leader, hypercube, sort, hull)
+	Tree     int // J: overlay tree construction
+	Flood    int // K: hull distribution
+	DomSet   int // L: bay-area dominating sets
+	Total    int
+	RouteAvg float64 // filled by experiments, not by Preprocess
+}
+
+// Report summarizes what preprocessing measured.
+type Report struct {
+	Rounds PhaseRounds
+	// Communication work, max over nodes, cumulative over all phases.
+	MaxMsgs  int
+	MaxWords int
+	// Storage in words, max per node class (Theorem 1.2).
+	StorageHull     int
+	StorageBoundary int
+	StorageOther    int
+	// Structure counts.
+	NumHoles         int
+	NumHullNodes     int
+	NumBoundaryNodes int
+	TreeHeight       int
+	HullsIntersect   bool
+	// RingsReused counts rings whose protocol results were carried over by
+	// incremental recomputation (0 for a full run).
+	RingsReused int
+}
+
+// Bay is a bay area of a hole: the region between two adjacent convex hull
+// nodes and the hole boundary between them (Section 4.3).
+type Bay struct {
+	Hole     int
+	HullA    sim.NodeID
+	HullB    sim.NodeID
+	Interior []sim.NodeID // boundary nodes strictly between HullA and HullB
+	DS       map[sim.NodeID]bool
+	Polygon  []geom.Point // region polygon: hull chord + boundary path
+}
+
+// HullGroup is a maximal set of holes whose convex hulls mutually intersect,
+// merged into one joint obstacle hull. The paper assumes hulls never
+// intersect (Section 4); this implements the extension its future-work
+// section calls for: when they do, the group's merged hull is used as the
+// abstraction, which restores the disjointness the routing analysis needs at
+// the cost of a coarser obstacle.
+type HullGroup struct {
+	Holes []int        // indices into Holes.Holes
+	Hull  []geom.Point // convex hull of the union of member hulls (CCW)
+}
+
+// Network is a preprocessed hybrid network ready to answer routing queries.
+type Network struct {
+	G      *udg.Graph
+	LDel   *delaunay.PlanarGraph
+	Holes  *delaunay.HoleSet
+	Router *routing.Router
+	Sim    *sim.Sim
+	Tree   *overlaytree.Tree
+
+	// Overlay is the Overlay Delaunay Graph of all hull corners (what every
+	// hull node stores after phase K); VisDomain is the Section-3 variant
+	// over full hole boundary polygons.
+	Overlay   *vis.Overlay
+	VisDomain *vis.Domain
+
+	Rings  map[int]map[sim.NodeID]*hyper.RingResult
+	Bays   []Bay
+	Groups []HullGroup
+	Report Report
+
+	hullNodeOf   map[geom.Point]sim.NodeID
+	nodeAtPt     map[geom.Point]sim.NodeID
+	groupDomains []*vis.Domain // lazy per-group domains over member hole polygons
+	ringSnapshot map[string]ringEpochInfo
+	reusedHoles  map[int]bool // holes whose ring results were carried over
+}
+
+// ringEpochInfo remembers one ring's identity and result for the
+// bounded-movement incremental recomputation (the paper's future-work
+// extension of Section 6/7): a ring whose membership and positions are
+// unchanged between epochs keeps its protocol results.
+type ringEpochInfo struct {
+	positions []geom.Point
+	results   map[sim.NodeID]*hyper.RingResult
+}
+
+// nodeAt resolves a coordinate back to its node (coordinates are unique).
+func (nw *Network) nodeAt(p geom.Point) (sim.NodeID, bool) {
+	v, ok := nw.nodeAtPt[p]
+	return v, ok
+}
+
+// buildGroups partitions holes into maximal groups of mutually intersecting
+// hulls (union-find) and computes each group's merged hull.
+func (nw *Network) buildGroups() {
+	holes := nw.Holes.Holes
+	parent := make([]int, len(holes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < len(holes); i++ {
+		for j := i + 1; j < len(holes); j++ {
+			if hullsOverlapPolys(holes[i].Hull, holes[j].Hull) {
+				union(i, j)
+			}
+		}
+	}
+	members := map[int][]int{}
+	for i := range holes {
+		r := find(i)
+		members[r] = append(members[r], i)
+	}
+	// Deterministic group order: by smallest member index.
+	var roots []int
+	for r := range members {
+		roots = append(roots, r)
+	}
+	for i := 0; i < len(roots); i++ { // insertion sort by min member
+		for j := i; j > 0 && members[roots[j]][0] < members[roots[j-1]][0]; j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	for _, r := range roots {
+		var pts []geom.Point
+		for _, hi := range members[r] {
+			pts = append(pts, holes[hi].Hull...)
+		}
+		nw.Groups = append(nw.Groups, HullGroup{
+			Holes: members[r],
+			Hull:  geom.ConvexHull(pts),
+		})
+	}
+}
+
+// hullsOverlapPolys reports whether two convex polygons intersect (edge
+// crossing or containment).
+func hullsOverlapPolys(a, b []geom.Point) bool {
+	if len(a) < 3 || len(b) < 3 {
+		return false
+	}
+	for i := range a {
+		s := geom.Seg(a[i], a[(i+1)%len(a)])
+		for j := range b {
+			if geom.SegmentsProperlyIntersect(s, geom.Seg(b[j], b[(j+1)%len(b)])) {
+				return true
+			}
+		}
+	}
+	for _, p := range a {
+		if geom.PointStrictlyInConvex(p, b) {
+			return true
+		}
+	}
+	for _, p := range b {
+		if geom.PointStrictlyInConvex(p, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// groupDomain returns (building lazily) the visibility domain over the
+// member hole boundary polygons of group gi, used for geodesics inside the
+// group's merged hull (bay areas and inter-hole corridors).
+func (nw *Network) groupDomain(gi int) *vis.Domain {
+	if nw.groupDomains[gi] == nil {
+		var polys [][]geom.Point
+		for _, hi := range nw.Groups[gi].Holes {
+			polys = append(polys, nw.Holes.Holes[hi].Polygon)
+		}
+		nw.groupDomains[gi] = vis.NewDomain(polys)
+	}
+	return nw.groupDomains[gi]
+}
+
+// groupAt returns the index of the group whose merged hull strictly
+// contains p, or -1.
+func (nw *Network) groupAt(p geom.Point) int {
+	for i := range nw.Groups {
+		if len(nw.Groups[i].Hull) >= 3 && geom.PointStrictlyInConvex(p, nw.Groups[i].Hull) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Preprocess runs the full pipeline on a deployment.
+func Preprocess(g *udg.Graph, cfg Config) (*Network, error) {
+	return preprocess(g, cfg, nil, nil)
+}
+
+// Recompute re-runs all position-dependent phases after nodes have moved
+// (the dynamic scenario of Section 6): the overlay tree's structure does not
+// depend on positions, so it is reused, and only LDel² construction, hole
+// detection, the ring protocols, the hull flood and the dominating sets are
+// repeated — O(log n) rounds instead of the O(log² n) initial setup.
+func (nw *Network) Recompute(g *udg.Graph, cfg Config) (*Network, error) {
+	if g.N() != nw.G.N() {
+		return nil, fmt.Errorf("core: Recompute requires the same node set (got %d, had %d)", g.N(), nw.G.N())
+	}
+	return preprocess(g, cfg, nw.Tree, nw)
+}
+
+func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network) (*Network, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty deployment")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("core: UDG is disconnected; the paper assumes strong connectivity")
+	}
+	nw := &Network{G: g}
+	nw.Sim = sim.New(g, sim.Config{Strict: cfg.Strict, Parallel: cfg.Parallel})
+	if tree != nil {
+		// Tree edges survive node movement; re-grant the ID knowledge the
+		// original construction established.
+		for v := 0; v < g.N(); v++ {
+			id := sim.NodeID(v)
+			nw.Sim.Teach(id, tree.Parent[id])
+			nw.Sim.Teach(tree.Parent[id], id)
+		}
+	}
+
+	// Phases A–C: distributed LDel² construction — neighbourhood gossip,
+	// local Delaunay-property evaluation and triangle unanimity voting, all
+	// as real protocol messages (O(1) rounds). The output provably equals
+	// the centralized evaluation of Definition 2.3 (asserted in the
+	// delaunay package's tests).
+	ldel, err := delaunay.BuildLDel2Distributed(nw.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("core: LDel phase: %w", err)
+	}
+	nw.Report.Rounds.LDel = nw.Sim.Rounds()
+	nw.LDel = ldel
+	nw.Router = routing.New(nw.LDel)
+
+	// Phase D (local): hole detection via the rotation system.
+	nw.Holes = delaunay.DetectHoles(nw.LDel, g.Radius())
+	nw.Report.NumHoles = len(nw.Holes.Holes)
+	nw.Report.HullsIntersect = nw.Holes.HullsIntersect()
+
+	// Phases E–I: ring protocols for every hole ring and the outer boundary.
+	var prevRings map[string]ringEpochInfo
+	if prev != nil && cfg.Incremental {
+		prevRings = prev.ringSnapshot
+	}
+	if err := nw.runRingPhase(prevRings); err != nil {
+		return nil, fmt.Errorf("core: ring phase: %w", err)
+	}
+
+	// Phase J: overlay tree over long-range links (skipped when reusing a
+	// tree from a previous epoch, Section 6).
+	if tree == nil {
+		before := nw.Sim.Rounds()
+		built, err := overlaytree.Build(nw.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("core: overlay tree: %w", err)
+		}
+		tree = built
+		nw.Report.Rounds.Tree = nw.Sim.Rounds() - before
+	}
+	nw.Tree = tree
+	nw.Report.TreeHeight = tree.Height()
+
+	// Phase K: flood hull announcements so every hull node can build the
+	// Overlay Delaunay Graph.
+	if err := nw.runFloodPhase(); err != nil {
+		return nil, fmt.Errorf("core: hull distribution: %w", err)
+	}
+
+	// Merge intersecting hulls into groups (future-work extension; groups
+	// are singletons whenever the paper's disjointness assumption holds),
+	// then build the routing structures every hull node now possesses.
+	nw.buildGroups()
+	var groupHulls [][]geom.Point
+	for _, grp := range nw.Groups {
+		groupHulls = append(groupHulls, grp.Hull)
+	}
+	var boundaries [][]geom.Point
+	for _, h := range nw.Holes.Holes {
+		boundaries = append(boundaries, h.Polygon)
+	}
+	nw.Overlay = vis.NewOverlay(groupHulls)
+	nw.VisDomain = vis.NewDomain(boundaries)
+	nw.hullNodeOf = make(map[geom.Point]sim.NodeID)
+	for _, h := range nw.Holes.Holes {
+		for _, v := range h.HullNodes {
+			nw.hullNodeOf[nw.G.Point(v)] = v
+		}
+	}
+	nw.nodeAtPt = make(map[geom.Point]sim.NodeID, g.N())
+	for v := 0; v < g.N(); v++ {
+		nw.nodeAtPt[g.Point(sim.NodeID(v))] = sim.NodeID(v)
+	}
+	nw.groupDomains = make([]*vis.Domain, len(nw.Groups))
+
+	// Phase L: bay areas and their dominating sets.
+	nw.buildBays()
+	if !cfg.SkipDomSets {
+		if err := nw.runDomSetPhase(cfg.Seed); err != nil {
+			return nil, fmt.Errorf("core: dominating sets: %w", err)
+		}
+	}
+
+	nw.accountStorage()
+	nw.Report.Rounds.Total = nw.Sim.Rounds()
+	max := nw.Sim.MaxCounters()
+	nw.Report.MaxMsgs = max.Total()
+	nw.Report.MaxWords = max.TotalWords()
+	return nw, nil
+}
+
+// HoleCount returns the number of detected radio holes.
+func (nw *Network) HoleCount() int { return len(nw.Holes.Holes) }
+
+// IsHullNode reports whether v is a convex hull node of some hole.
+func (nw *Network) IsHullNode(v sim.NodeID) bool {
+	_, ok := nw.hullNodeOf[nw.G.Point(v)]
+	return ok
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+	"hybridroute/internal/workload"
+)
+
+func TestTinyNetworks(t *testing.T) {
+	cases := map[string][]geom.Point{
+		"single": {geom.Pt(0, 0)},
+		"pair":   {geom.Pt(0, 0), geom.Pt(0.5, 0)},
+		"triple": {geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(0.25, 0.4)},
+		"square": {geom.Pt(0, 0), geom.Pt(0.8, 0), geom.Pt(0.8, 0.8), geom.Pt(0, 0.8)},
+	}
+	for name, pts := range cases {
+		g := udg.Build(pts, 1)
+		nw, err := Preprocess(g, Config{Strict: true, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for s := 0; s < g.N(); s++ {
+			for d := 0; d < g.N(); d++ {
+				out := nw.Route(udg.NodeID(s), udg.NodeID(d))
+				if !out.Reached {
+					t.Fatalf("%s: route %d->%d failed", name, s, d)
+				}
+			}
+		}
+	}
+}
+
+// TestPureGridDegenerate runs the pipeline on an exact integer grid — the
+// worst case for geometric predicates: every unit square's corners are
+// co-circular, so the Delaunay structure is non-unique and quad faces
+// (degenerate "holes") appear everywhere. The exact-arithmetic fallbacks
+// must keep the pipeline consistent and routing correct.
+func TestPureGridDegenerate(t *testing.T) {
+	var pts []geom.Point
+	for x := 0.0; x < 7; x++ {
+		for y := 0.0; y < 7; y++ {
+			pts = append(pts, geom.Pt(x*0.8, y*0.8))
+		}
+	}
+	g := udg.Build(pts, 1)
+	if !g.Connected() {
+		t.Fatal("grid must connect (diagonal within range)")
+	}
+	nw, err := Preprocess(g, Config{Strict: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.N(); s += 7 {
+		for d := g.N() - 1; d >= 0; d -= 11 {
+			out := nw.Route(udg.NodeID(s), udg.NodeID(d))
+			if !out.Reached {
+				t.Fatalf("route %d->%d failed on degenerate grid (case %d)", s, d, out.Case)
+			}
+		}
+	}
+}
+
+// TestLargeScaleSoak exercises the full pipeline at a size near the upper
+// end of the experiments; skipped in -short mode.
+func TestLargeScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	obstacles := workload.RandomConvexObstacles(5, 5, 20, 20, 1.5, 2.5, 1.3)
+	sc, err := workload.WithObstacles(5, 2000, 20, 20, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		s := sim.NodeID(rng.Intn(nw.G.N()))
+		d := sim.NodeID(rng.Intn(nw.G.N()))
+		out := nw.Route(s, d)
+		if !out.Reached {
+			t.Fatalf("route %d->%d failed at scale", s, d)
+		}
+	}
+	t.Logf("n=2000: %d rounds, %d holes, maxMsgs/node %d",
+		nw.Report.Rounds.Total, nw.Report.NumHoles, nw.Report.MaxMsgs)
+}

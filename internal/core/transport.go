@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridroute/internal/sim"
+)
+
+// posQuery asks the destination for its coordinates over a long-range link
+// (the paper's query step: the source knows the destination's ID, so it may
+// contact it directly, Section 1.2).
+type posQuery struct{}
+
+// posReply carries the coordinates back.
+type posReply struct{ x, y float64 }
+
+func (posReply) Words() int { return 2 }
+
+// dataMsg is the payload travelling over ad hoc links. It carries the
+// remaining waypoint/path plan, as in Section 3 ("the resulting shortest
+// path is added to the message and used for forwarding").
+type dataMsg struct {
+	path    []sim.NodeID // remaining nodes to visit, front = next hop
+	payload int          // abstract payload size in words
+}
+
+func (m dataMsg) Words() int               { return m.payload + len(m.path) }
+func (m dataMsg) CarriedIDs() []sim.NodeID { return m.path }
+
+// TransportReport is the measured cost of one on-simulator delivery.
+type TransportReport struct {
+	Outcome
+	Rounds       int // communication rounds from query to delivery
+	AdHocMsgs    int // ad hoc messages moved (== hops)
+	LongMsgs     int // long-range messages (position query/response)
+	AdHocWords   int
+	LongWords    int
+	DeliveredSim bool // the payload physically arrived at t in the simulation
+}
+
+// RouteOnSim executes a routing query as an actual message sequence on the
+// simulator: the source asks the target for its position over a long-range
+// link, then the payload travels hop by hop over ad hoc links following the
+// plan computed by the hybrid protocol (which travels with the message).
+// The returned report contains the plan outcome plus the genuinely measured
+// rounds and per-link-class message counts — payload words never touch a
+// long-range link.
+func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportReport, error) {
+	plan := nw.Route(s, t)
+	rep := &TransportReport{Outcome: plan}
+	if !plan.Reached {
+		return rep, fmt.Errorf("core: no plan for %d->%d", s, t)
+	}
+	path := plan.Path
+
+	// The paper's standing assumption: (s, t) ∈ E.
+	nw.Sim.Teach(s, t)
+
+	startRounds := nw.Sim.Rounds()
+	before := make([]sim.Counters, nw.G.N())
+	for v := 0; v < nw.G.N(); v++ {
+		before[v] = nw.Sim.Counters(sim.NodeID(v))
+	}
+
+	// Per-node flags keep the protocol state race-free under parallel
+	// simulator stepping.
+	deliveredAt := make([]bool, nw.G.N())
+	started := make([]bool, nw.G.N())
+	nw.Sim.SetAllProtos(func(v sim.NodeID) sim.Proto {
+		return sim.ProtoFunc(func(ctx *sim.Context, round int, inbox []sim.Envelope) {
+			if v == s && !started[v] {
+				started[v] = true
+				ctx.SendLong(t, posQuery{})
+				return
+			}
+			for _, env := range inbox {
+				switch msg := env.Msg.(type) {
+				case posQuery:
+					p := ctx.Pos()
+					ctx.SendLong(env.From, posReply{x: p.X, y: p.Y})
+				case posReply:
+					// Position known: launch the payload along the plan.
+					if v == s && len(path) > 1 {
+						ctx.SendAdHoc(path[1], dataMsg{path: path[2:], payload: payloadWords})
+					} else if v == s {
+						deliveredAt[v] = true // s == t or single-node path
+					}
+				case dataMsg:
+					if v == t && len(msg.path) == 0 {
+						deliveredAt[v] = true
+						return
+					}
+					if len(msg.path) > 0 {
+						ctx.SendAdHoc(msg.path[0], dataMsg{path: msg.path[1:], payload: msg.payload})
+					}
+				}
+			}
+		})
+	})
+	if _, err := nw.Sim.Run(); err != nil {
+		return rep, err
+	}
+	rep.Rounds = nw.Sim.Rounds() - startRounds
+	delivered := deliveredAt[s] || deliveredAt[t]
+	rep.DeliveredSim = delivered
+	for v := 0; v < nw.G.N(); v++ {
+		after := nw.Sim.Counters(sim.NodeID(v))
+		rep.AdHocMsgs += after.AdHocMsgs - before[v].AdHocMsgs
+		rep.LongMsgs += after.LongMsgs - before[v].LongMsgs
+		rep.AdHocWords += after.AdHocWords - before[v].AdHocWords
+		rep.LongWords += after.LongWords - before[v].LongWords
+	}
+	if !delivered {
+		return rep, fmt.Errorf("core: payload did not arrive at %d", t)
+	}
+	return rep, nil
+}

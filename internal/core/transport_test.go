@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/workload"
+)
+
+func TestRouteOnSimDelivers(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	s, _ := nw.nodeAt(nearestPt(nw, geom.Pt(0.2, 4)))
+	d, _ := nw.nodeAt(nearestPt(nw, geom.Pt(7.8, 4)))
+	rep, err := nw.RouteOnSim(s, d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DeliveredSim {
+		t.Fatal("payload must arrive in the simulation")
+	}
+	// Every plan hop is one ad hoc message; the query costs 2 long-range
+	// messages; delivery takes hops + query round-trips + quiescence rounds.
+	if rep.AdHocMsgs != rep.Hops() {
+		t.Errorf("ad hoc messages %d != hops %d", rep.AdHocMsgs, rep.Hops())
+	}
+	if rep.LongMsgs != 2 {
+		t.Errorf("long-range messages = %d, want 2 (position query/response)", rep.LongMsgs)
+	}
+	if rep.Rounds < rep.Hops()+2 {
+		t.Errorf("rounds %d below hops+handshake %d", rep.Rounds, rep.Hops()+2)
+	}
+	// The payload words never ride long-range links.
+	if rep.LongWords > 8 {
+		t.Errorf("long-range words %d should be a small constant", rep.LongWords)
+	}
+	if rep.AdHocWords <= 100 {
+		t.Errorf("payload words must ride ad hoc links (got %d)", rep.AdHocWords)
+	}
+}
+
+func TestRouteOnSimManyPairs(t *testing.T) {
+	nw := prepScenario(t, 0.55, 7, 7, 1.5)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		s := sim.NodeID(rng.Intn(nw.G.N()))
+		d := sim.NodeID(rng.Intn(nw.G.N()))
+		if s == d {
+			continue
+		}
+		rep, err := nw.RouteOnSim(s, d, 10)
+		if err != nil {
+			t.Fatalf("%d->%d: %v", s, d, err)
+		}
+		if !rep.DeliveredSim {
+			t.Fatalf("%d->%d not delivered", s, d)
+		}
+	}
+}
+
+// Benchmarks comparing sequential and parallel simulator stepping on the
+// full preprocessing pipeline.
+func benchPreprocess(b *testing.B, parallel bool) {
+	obstacles := workload.RandomConvexObstacles(2, 4, 18, 18, 1.5, 2.2, 1.3)
+	sc, err := workload.WithObstacles(2, 1500, 18, 18, 1, obstacles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := sc.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Preprocess(g, Config{Strict: true, Seed: 2, Parallel: parallel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreprocessSequential(b *testing.B) { benchPreprocess(b, false) }
+func BenchmarkPreprocessParallel(b *testing.B)   { benchPreprocess(b, true) }

@@ -1,0 +1,102 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+// TestDistributedMatchesCentralized is the key equivalence: the
+// message-passing construction must produce exactly the same edge set as
+// the centralized evaluation of Definition 2.3.
+func TestDistributedMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		pts := randomPts(rng, 120, 6, 6)
+		g := udg.Build(pts, 1)
+		s := sim.New(g, sim.Config{Strict: true})
+		dist, err := BuildLDel2Distributed(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		central := LDelK(g, 2)
+		de, ce := dist.Edges(), central.Edges()
+		if len(de) != len(ce) {
+			t.Fatalf("trial %d: %d distributed edges vs %d centralized", trial, len(de), len(ce))
+		}
+		set := map[[2]int]bool{}
+		for _, e := range ce {
+			set[e] = true
+		}
+		for _, e := range de {
+			if !set[e] {
+				t.Fatalf("trial %d: distributed edge %v not in centralized graph", trial, e)
+			}
+		}
+	}
+}
+
+func TestDistributedConstantRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var rounds []int
+	for _, n := range []int{50, 200, 800} {
+		// Bounded density: area scales with n so neighbourhood sizes stay
+		// constant while the network grows.
+		side := 0.55 * math.Sqrt(float64(n))
+		var g *udg.Graph
+		for attempt := 0; ; attempt++ {
+			if attempt > 100 {
+				t.Fatalf("n=%d: no connected deployment", n)
+			}
+			pts := randomPts(rng, n, side, side)
+			g = udg.Build(pts, 1)
+			if g.Connected() {
+				break
+			}
+		}
+		s := sim.New(g, sim.Config{Strict: true})
+		if _, err := BuildLDel2Distributed(s); err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, s.Rounds())
+	}
+	for _, r := range rounds {
+		if r > 6 {
+			t.Fatalf("distributed LDel² must take O(1) rounds, got %v", rounds)
+		}
+	}
+}
+
+func TestDistributedIsolatedNode(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	g := udg.Build(pts, 1)
+	s := sim.New(g, sim.Config{Strict: true})
+	pg, err := BuildLDel2Distributed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.EdgeCount() != 0 {
+		t.Fatal("no edges expected")
+	}
+}
+
+func TestDistributedMessageSizesMetered(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pts := randomPts(rng, 100, 5, 5)
+	g := udg.Build(pts, 1)
+	s := sim.New(g, sim.Config{Strict: true})
+	if _, err := BuildLDel2Distributed(s); err != nil {
+		t.Fatal(err)
+	}
+	tot := s.TotalCounters()
+	if tot.AdHocMsgs == 0 || tot.AdHocWords <= tot.AdHocMsgs {
+		t.Fatalf("gossip must be metered with real sizes: %+v", tot)
+	}
+	if tot.LongMsgs != 0 {
+		t.Fatal("LDel² construction uses ad hoc links only")
+	}
+}

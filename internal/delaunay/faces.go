@@ -1,0 +1,107 @@
+package delaunay
+
+import (
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+// Face is a face of the planar embedding, given by its directed boundary
+// cycle. Bounded faces are traced counterclockwise (positive area); the
+// single unbounded outer face is traced clockwise (negative area).
+type Face struct {
+	Cycle []udg.NodeID // boundary walk; may repeat nodes at cut vertices
+}
+
+// DistinctNodes returns the number of distinct nodes on the face boundary.
+func (f Face) DistinctNodes() int {
+	set := make(map[udg.NodeID]bool, len(f.Cycle))
+	for _, v := range f.Cycle {
+		set[v] = true
+	}
+	return len(set)
+}
+
+// area returns the signed area of the face's boundary walk.
+func (f Face) area(g *PlanarGraph) float64 {
+	poly := make([]geom.Point, len(f.Cycle))
+	for i, v := range f.Cycle {
+		poly[i] = g.Point(v)
+	}
+	return geom.PolygonArea(poly)
+}
+
+// Polygon returns the face boundary as points.
+func (f Face) Polygon(g *PlanarGraph) []geom.Point {
+	poly := make([]geom.Point, len(f.Cycle))
+	for i, v := range f.Cycle {
+		poly[i] = g.Point(v)
+	}
+	return poly
+}
+
+// HasEdge reports whether the undirected edge (a, b) appears on the face
+// boundary.
+func (f Face) HasEdge(a, b udg.NodeID) bool {
+	n := len(f.Cycle)
+	for i := 0; i < n; i++ {
+		u, v := f.Cycle[i], f.Cycle[(i+1)%n]
+		if (u == a && v == b) || (u == b && v == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Faces enumerates all faces of the planar embedding using the rotation
+// system: from the directed edge (u, v), the next boundary edge is (v, w)
+// where w precedes u in the counterclockwise rotation of v. With this rule
+// every bounded face is traced counterclockwise (interior to the left) and
+// the outer face clockwise. Every directed edge lies on exactly one face.
+func (g *PlanarGraph) Faces() []Face {
+	type dedge struct{ u, v udg.NodeID }
+	visited := make(map[dedge]bool, 2*g.EdgeCount())
+	var faces []Face
+
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.adj[u] {
+			start := dedge{udg.NodeID(u), v}
+			if visited[start] {
+				continue
+			}
+			var cycle []udg.NodeID
+			cur := start
+			for !visited[cur] {
+				visited[cur] = true
+				cycle = append(cycle, cur.u)
+				w := g.prevInRotation(cur.v, cur.u)
+				cur = dedge{cur.v, w}
+			}
+			faces = append(faces, Face{Cycle: cycle})
+		}
+	}
+	return faces
+}
+
+// prevInRotation returns the neighbour of v that immediately precedes u in
+// the counterclockwise rotation of v (wrapping around).
+func (g *PlanarGraph) prevInRotation(v, u udg.NodeID) udg.NodeID {
+	nbrs := g.adj[v]
+	for i, w := range nbrs {
+		if w == u {
+			return nbrs[(i-1+len(nbrs))%len(nbrs)]
+		}
+	}
+	panic("delaunay: rotation lookup for absent edge")
+}
+
+// OuterFaceIndex returns the index of the unbounded face in faces: the one
+// with the most negative signed area. Returns -1 for an empty graph.
+func (g *PlanarGraph) OuterFaceIndex(faces []Face) int {
+	best, idx := 0.0, -1
+	for i, f := range faces {
+		if a := f.area(g); a < best {
+			best, idx = a, i
+		}
+	}
+	return idx
+}

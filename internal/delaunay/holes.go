@@ -1,0 +1,222 @@
+package delaunay
+
+import (
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+// Hole is a radio hole of the ad hoc network: an inner hole is a face of
+// LDel²(V) with at least 4 nodes (Definition 2.4); an outer hole is a face
+// of LDel²(V) ∪ CH(V) with at least 3 nodes containing a convex hull edge
+// longer than the transmission range (Definition 2.5).
+type Hole struct {
+	ID    int
+	Ring  []udg.NodeID // boundary cycle in counterclockwise order
+	Outer bool
+
+	Polygon   []geom.Point // coordinates of Ring
+	Hull      []geom.Point // convex hull of the boundary, CCW
+	HullNodes []udg.NodeID // nodes of Ring on the hull, in hull order
+	BBox      geom.Box     // minimum bounding box of the hull
+}
+
+// Perimeter returns the boundary length P(h) of the hole (Theorem 1.2).
+func (h *Hole) Perimeter() float64 { return geom.PolygonPerimeter(h.Polygon) }
+
+// HullCircumference returns the circumference L(c) of the minimum bounding
+// box of the hole's convex hull (Theorem 1.2).
+func (h *Hole) HullCircumference() float64 { return h.BBox.Circumference() }
+
+// ContainsInHull reports whether p lies inside or on the hole's convex hull.
+func (h *Hole) ContainsInHull(p geom.Point) bool {
+	return geom.PointInConvex(p, h.Hull)
+}
+
+// SegmentCrossesHull reports whether the segment properly intersects the
+// hole's convex hull region.
+func (h *Hole) SegmentCrossesHull(s geom.Segment) bool {
+	return geom.SegmentIntersectsPolygon(s, h.Hull)
+}
+
+// SegmentCrossesBoundary reports whether the segment properly intersects the
+// hole's actual boundary polygon.
+func (h *Hole) SegmentCrossesBoundary(s geom.Segment) bool {
+	return geom.SegmentIntersectsPolygon(s, h.Polygon)
+}
+
+// HoleSet is the collection of radio holes of a 2-localized Delaunay graph,
+// with reverse indices used by the routing layer.
+type HoleSet struct {
+	Holes []*Hole
+	// NodeHoles maps each node to the holes whose boundary it lies on.
+	NodeHoles map[udg.NodeID][]int
+	// OuterBoundary is the cycle of the unbounded face of LDel²(V), i.e. the
+	// outer boundary ring of the whole network (clockwise as traced).
+	OuterBoundary []udg.NodeID
+}
+
+// HullNodeSet returns the union of all hull nodes over all holes.
+func (hs *HoleSet) HullNodeSet() []udg.NodeID {
+	seen := map[udg.NodeID]bool{}
+	var out []udg.NodeID
+	for _, h := range hs.Holes {
+		for _, v := range h.HullNodes {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// BoundaryNodeSet returns the union of all hole-boundary nodes.
+func (hs *HoleSet) BoundaryNodeSet() []udg.NodeID {
+	seen := map[udg.NodeID]bool{}
+	var out []udg.NodeID
+	for _, h := range hs.Holes {
+		for _, v := range h.Ring {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// HullsIntersect reports whether any two hole hulls intersect: the paper's
+// main theorem assumes they do not (Section 4.1); the routing layer checks
+// and reports this assumption.
+func (hs *HoleSet) HullsIntersect() bool {
+	for i := 0; i < len(hs.Holes); i++ {
+		for j := i + 1; j < len(hs.Holes); j++ {
+			if hullsOverlap(hs.Holes[i].Hull, hs.Holes[j].Hull) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hullsOverlap(a, b []geom.Point) bool {
+	for i := range a {
+		s := geom.Seg(a[i], a[(i+1)%len(a)])
+		for j := range b {
+			if geom.SegmentsProperlyIntersect(s, geom.Seg(b[j], b[(j+1)%len(b)])) {
+				return true
+			}
+		}
+	}
+	for _, p := range a {
+		if geom.PointStrictlyInConvex(p, b) {
+			return true
+		}
+	}
+	for _, p := range b {
+		if geom.PointStrictlyInConvex(p, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectHoles finds all radio holes of the planar graph ldel (assumed to be
+// LDel²(V) or a planar supergraph of it) for transmission radius r.
+//
+// Inner holes are bounded faces with ≥ 4 distinct nodes. For outer holes,
+// the convex hull CH(V) of the node set is overlaid (Definition 2.5) and
+// bounded faces of the combined graph with ≥ 3 nodes containing a hull edge
+// longer than r are reported.
+func DetectHoles(ldel *PlanarGraph, r float64) *HoleSet {
+	hs := &HoleSet{NodeHoles: make(map[udg.NodeID][]int)}
+
+	faces := ldel.Faces()
+	outer := ldel.OuterFaceIndex(faces)
+	for i, f := range faces {
+		if i == outer {
+			hs.OuterBoundary = append([]udg.NodeID(nil), f.Cycle...)
+			continue
+		}
+		if f.DistinctNodes() >= 4 {
+			hs.addHole(ldel, f.Cycle, false)
+		}
+	}
+
+	// Outer holes: overlay convex hull edges of the full point set.
+	hullPts := geom.ConvexHull(ldel.Points())
+	if len(hullPts) >= 3 {
+		ptIndex := make(map[geom.Point]udg.NodeID, ldel.N())
+		for v := 0; v < ldel.N(); v++ {
+			ptIndex[ldel.Point(udg.NodeID(v))] = udg.NodeID(v)
+		}
+		gbar := ldel.Clone()
+		type hedge struct{ a, b udg.NodeID }
+		longHull := make(map[hedge]bool)
+		for i := range hullPts {
+			pa, pb := hullPts[i], hullPts[(i+1)%len(hullPts)]
+			a, okA := ptIndex[pa]
+			b, okB := ptIndex[pb]
+			if !okA || !okB {
+				continue
+			}
+			gbar.AddEdge(a, b)
+			if pa.Dist(pb) > r {
+				longHull[hedge{a, b}] = true
+				longHull[hedge{b, a}] = true
+			}
+		}
+		if len(longHull) > 0 {
+			bfaces := gbar.Faces()
+			bouter := gbar.OuterFaceIndex(bfaces)
+			for i, f := range bfaces {
+				if i == bouter || f.DistinctNodes() < 3 {
+					continue
+				}
+				has := false
+				n := len(f.Cycle)
+				for j := 0; j < n && !has; j++ {
+					if longHull[hedge{f.Cycle[j], f.Cycle[(j+1)%n]}] {
+						has = true
+					}
+				}
+				if has {
+					hs.addHole(ldel, f.Cycle, true)
+				}
+			}
+		}
+	}
+
+	for i, h := range hs.Holes {
+		for _, v := range h.Ring {
+			hs.NodeHoles[v] = append(hs.NodeHoles[v], i)
+		}
+	}
+	return hs
+}
+
+func (hs *HoleSet) addHole(g *PlanarGraph, cycle []udg.NodeID, outer bool) {
+	h := &Hole{
+		ID:    len(hs.Holes),
+		Ring:  append([]udg.NodeID(nil), cycle...),
+		Outer: outer,
+	}
+	h.Polygon = make([]geom.Point, len(h.Ring))
+	for i, v := range h.Ring {
+		h.Polygon[i] = g.Point(v)
+	}
+	h.Hull = geom.ConvexHull(h.Polygon)
+	h.BBox = geom.BoundingBox(h.Hull)
+	// Map hull points back to ring nodes, preserving hull order.
+	ptNode := make(map[geom.Point]udg.NodeID, len(h.Ring))
+	for i, v := range h.Ring {
+		ptNode[h.Polygon[i]] = v
+	}
+	h.HullNodes = make([]udg.NodeID, 0, len(h.Hull))
+	for _, p := range h.Hull {
+		if v, ok := ptNode[p]; ok {
+			h.HullNodes = append(h.HullNodes, v)
+		}
+	}
+	hs.Holes = append(hs.Holes, h)
+}

@@ -1,0 +1,270 @@
+package delaunay
+
+import (
+	"sort"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+// PlanarGraph is an embedded planar graph over a point set: adjacency lists
+// sorted counterclockwise by angle (the rotation system), which is exactly
+// the structure a node of the ad hoc network can compute locally from the
+// coordinates of its neighbours.
+type PlanarGraph struct {
+	pts []geom.Point
+	adj [][]udg.NodeID
+}
+
+// NewPlanarGraph builds a planar graph from points and undirected edges; the
+// embedding is the straight-line embedding, with each rotation sorted CCW.
+func NewPlanarGraph(pts []geom.Point, edges [][2]int) *PlanarGraph {
+	g := &PlanarGraph{pts: pts, adj: make([][]udg.NodeID, len(pts))}
+	for _, e := range edges {
+		g.adj[e[0]] = append(g.adj[e[0]], udg.NodeID(e[1]))
+		g.adj[e[1]] = append(g.adj[e[1]], udg.NodeID(e[0]))
+	}
+	g.sortRotations()
+	return g
+}
+
+func (g *PlanarGraph) sortRotations() {
+	for v := range g.adj {
+		pv := g.pts[v]
+		nbrs := g.adj[v]
+		sort.Slice(nbrs, func(i, j int) bool {
+			ai := g.pts[nbrs[i]].Sub(pv).Angle()
+			aj := g.pts[nbrs[j]].Sub(pv).Angle()
+			if ai != aj {
+				return ai < aj
+			}
+			return nbrs[i] < nbrs[j]
+		})
+		// Deduplicate parallel edges if any slipped in.
+		out := nbrs[:0]
+		for i, w := range nbrs {
+			if i == 0 || w != nbrs[i-1] {
+				out = append(out, w)
+			}
+		}
+		g.adj[v] = out
+	}
+}
+
+// N returns the number of nodes.
+func (g *PlanarGraph) N() int { return len(g.pts) }
+
+// Point returns the coordinates of node v.
+func (g *PlanarGraph) Point(v udg.NodeID) geom.Point { return g.pts[v] }
+
+// Points returns the backing point slice; callers must not modify it.
+func (g *PlanarGraph) Points() []geom.Point { return g.pts }
+
+// Neighbors returns the CCW-sorted rotation of v; callers must not modify it.
+func (g *PlanarGraph) Neighbors(v udg.NodeID) []udg.NodeID { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *PlanarGraph) Degree(v udg.NodeID) int { return len(g.adj[v]) }
+
+// HasEdge reports whether the undirected edge (u, v) is present.
+func (g *PlanarGraph) HasEdge(u, v udg.NodeID) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *PlanarGraph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Edges returns each undirected edge once with a < b.
+func (g *PlanarGraph) Edges() [][2]int {
+	var out [][2]int
+	for v, nbrs := range g.adj {
+		for _, w := range nbrs {
+			if udg.NodeID(v) < w {
+				out = append(out, [2]int{v, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// AddEdge inserts the undirected edge (u, v) if absent and re-sorts the two
+// rotations. Used to overlay convex hull edges (Definition 2.5).
+func (g *PlanarGraph) AddEdge(u, v udg.NodeID) {
+	if u == v || g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.sortRotationOf(u)
+	g.sortRotationOf(v)
+}
+
+func (g *PlanarGraph) sortRotationOf(v udg.NodeID) {
+	pv := g.pts[v]
+	nbrs := g.adj[v]
+	sort.Slice(nbrs, func(i, j int) bool {
+		return g.pts[nbrs[i]].Sub(pv).Angle() < g.pts[nbrs[j]].Sub(pv).Angle()
+	})
+}
+
+// Clone returns a deep copy of the graph.
+func (g *PlanarGraph) Clone() *PlanarGraph {
+	c := &PlanarGraph{pts: g.pts, adj: make([][]udg.NodeID, len(g.adj))}
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]udg.NodeID(nil), nbrs...)
+	}
+	return c
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *PlanarGraph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []udg.NodeID{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// LDelK computes the k-localized Delaunay graph LDel^k(V) of the unit disk
+// graph g (Definition 2.3): the union of
+//
+//  1. all edges of k-localized triangles — triangles (u, v, w) with all edge
+//     lengths ≤ r whose circumcircle contains no node reachable within k
+//     hops of u, v, or w in UDG(V), and
+//  2. all Gabriel edges — UDG edges (u, v) whose diametral circle is empty.
+//
+// For k ≥ 2 the result is planar (Li, Călinescu, Wan). The computation is
+// node-local given k-hop neighbourhood knowledge, which is what the
+// distributed construction gathers in k communication rounds.
+func LDelK(g *udg.Graph, k int) *PlanarGraph {
+	n := g.N()
+	r := g.Radius()
+	r2 := r * r
+
+	// Precompute k-hop neighbourhoods.
+	khop := make([][]udg.NodeID, n)
+	for v := 0; v < n; v++ {
+		khop[v] = g.KHopNeighborhood(udg.NodeID(v), k)
+	}
+
+	edgeSet := make(map[[2]int]bool)
+	addEdge := func(a, b udg.NodeID) {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		edgeSet[[2]int{x, y}] = true
+	}
+
+	// Gabriel edges: since every point strictly inside the diametral circle
+	// of (u, v) is within distance ‖uv‖ ≤ r of u, checking u's UDG
+	// neighbourhood suffices.
+	for u := 0; u < n; u++ {
+		pu := g.Point(udg.NodeID(u))
+		for _, v := range g.Neighbors(udg.NodeID(u)) {
+			if int(v) < u {
+				continue
+			}
+			pv := g.Point(v)
+			gabriel := true
+			for _, w := range g.Neighbors(udg.NodeID(u)) {
+				if w == v {
+					continue
+				}
+				if geom.InDiametralCircle(pu, pv, g.Point(w)) {
+					gabriel = false
+					break
+				}
+			}
+			if gabriel {
+				addEdge(udg.NodeID(u), v)
+			}
+		}
+	}
+
+	// k-localized triangles.
+	for u := 0; u < n; u++ {
+		pu := g.Point(udg.NodeID(u))
+		nbrs := g.Neighbors(udg.NodeID(u))
+		for i := 0; i < len(nbrs); i++ {
+			v := nbrs[i]
+			if int(v) < u {
+				continue // process each triangle from its minimum vertex
+			}
+			for j := i + 1; j < len(nbrs); j++ {
+				w := nbrs[j]
+				if int(w) < u {
+					continue
+				}
+				pv, pw := g.Point(v), g.Point(w)
+				if pv.Dist2(pw) > r2 {
+					continue // edge vw exceeds the transmission range
+				}
+				if geom.Orient(pu, pv, pw) == geom.Collinear {
+					continue
+				}
+				if localizedDelaunayTriangle(g, khop, udg.NodeID(u), v, w) {
+					addEdge(udg.NodeID(u), v)
+					addEdge(v, w)
+					addEdge(udg.NodeID(u), w)
+				}
+			}
+		}
+	}
+
+	edges := make([][2]int, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return NewPlanarGraph(g.Points(), edges)
+}
+
+// localizedDelaunayTriangle checks Definition 2.2(2): the circumcircle of
+// (u, v, w) contains no node within k hops of u, v or w.
+func localizedDelaunayTriangle(g *udg.Graph, khop [][]udg.NodeID, u, v, w udg.NodeID) bool {
+	pu, pv, pw := g.Point(u), g.Point(v), g.Point(w)
+	checked := map[udg.NodeID]bool{u: true, v: true, w: true}
+	for _, base := range []udg.NodeID{u, v, w} {
+		for _, x := range khop[base] {
+			if checked[x] {
+				continue
+			}
+			checked[x] = true
+			if geom.InCircle(pu, pv, pw, g.Point(x)) {
+				return false
+			}
+		}
+	}
+	return true
+}

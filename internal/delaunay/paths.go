@@ -1,0 +1,74 @@
+package delaunay
+
+import (
+	"container/heap"
+	"math"
+
+	"hybridroute/internal/udg"
+)
+
+// ShortestPath returns the Euclidean-weight shortest path between s and t in
+// the planar graph, including both endpoints, plus its length; ok is false
+// when t is unreachable.
+func (g *PlanarGraph) ShortestPath(s, t udg.NodeID) ([]udg.NodeID, float64, bool) {
+	n := g.N()
+	dist := make([]float64, n)
+	prev := make([]udg.NodeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	pq := &pgHeap{{s, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pgItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		if item.v == t {
+			break
+		}
+		pv := g.Point(item.v)
+		for _, w := range g.adj[item.v] {
+			nd := item.d + pv.Dist(g.Point(w))
+			if nd < dist[w] {
+				dist[w] = nd
+				prev[w] = item.v
+				heap.Push(pq, pgItem{w, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil, 0, false
+	}
+	var path []udg.NodeID
+	for v := t; ; v = prev[v] {
+		path = append(path, v)
+		if v == s {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[t], true
+}
+
+type pgItem struct {
+	v udg.NodeID
+	d float64
+}
+
+type pgHeap []pgItem
+
+func (h pgHeap) Len() int            { return len(h) }
+func (h pgHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pgHeap) Push(x interface{}) { *h = append(*h, x.(pgItem)) }
+func (h *pgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,40 @@
+package domset_test
+
+import (
+	"fmt"
+	"math"
+
+	"hybridroute/internal/domset"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+// Example computes a dominating set of a 12-node ring with the distributed
+// protocol — the bay-area structure of Section 5.6 (degree 2, so the
+// approximation factor is constant).
+func Example() {
+	const k = 12
+	pts := make([]geom.Point, k)
+	seq := make([]sim.NodeID, k)
+	radius := k * 0.5 / (2 * math.Pi)
+	for i := 0; i < k; i++ {
+		ang := 2 * math.Pi * float64(i) / k
+		pts[i] = geom.Pt(radius*math.Cos(ang), radius*math.Sin(ang))
+		seq[i] = sim.NodeID(i)
+	}
+	g := udg.Build(pts, 0.6)
+	s := sim.New(g, sim.Config{Strict: true})
+	adj := domset.RingAdj(seq)
+
+	ds, err := domset.Run(s, adj, 42)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("dominating:", domset.IsDominatingSet(adj, ds))
+	fmt.Println("constant-factor size:", len(ds) <= 3*((k+2)/3))
+	// Output:
+	// dominating: true
+	// constant-factor size: true
+}

@@ -1,0 +1,112 @@
+// Package expt implements the experiment harness: one function per
+// experiment E1–E10 of DESIGN.md, each regenerating a table that checks a
+// quantitative claim of the paper (round complexities, communication work,
+// storage bounds, competitive constants, abstraction sizes). The functions
+// are shared by cmd/experiments and the repository benchmarks, and
+// EXPERIMENTS.md records their reference output.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/stats"
+	"hybridroute/internal/udg"
+	"hybridroute/internal/workload"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Claim string
+	Table *stats.Table
+	Notes []string
+	// Pass reports whether the measured shape matches the claim (who wins,
+	// scaling class, bound respected) — not absolute numbers.
+	Pass bool
+}
+
+func (r *Result) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks instance sizes for benchmarks and smoke tests.
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// standardScenario is the shared routing testbed: a uniform deployment with
+// disjoint convex obstacles, the geometry of the paper's city-centre
+// motivation.
+func standardScenario(seed int64, n int) (*workload.Scenario, error) {
+	side := math.Sqrt(float64(n)) * 0.42
+	if side < 6 {
+		side = 6
+	}
+	obstacles := workload.RandomConvexObstacles(seed, 3, side, side, side/8, side/5, 1.2)
+	return workload.WithObstacles(seed, n, side, side, 1, obstacles)
+}
+
+// preprocessScenario builds and preprocesses a standard scenario.
+func preprocessScenario(seed int64, n int) (*core.Network, *workload.Scenario, error) {
+	sc, err := standardScenario(seed, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: uint64(seed)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw, sc, nil
+}
+
+// samplePairs draws q distinct random source/target pairs.
+func samplePairs(rng *rand.Rand, n, q int) [][2]sim.NodeID {
+	pairs := make([][2]sim.NodeID, 0, q)
+	for len(pairs) < q {
+		s := sim.NodeID(rng.Intn(n))
+		t := sim.NodeID(rng.Intn(n))
+		if s != t {
+			pairs = append(pairs, [2]sim.NodeID{s, t})
+		}
+	}
+	return pairs
+}
+
+// log2 is a float shorthand.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// stretchOf computes the path stretch of a realized route against the UDG
+// shortest path; ok is false for unreachable or degenerate pairs.
+func stretchOf(g *udg.Graph, length float64, s, t sim.NodeID) (float64, bool) {
+	_, opt, ok := g.ShortestPath(s, t)
+	if !ok || opt <= 0 {
+		return 0, false
+	}
+	return length / opt, true
+}
+
+// pathLen sums Euclidean edge lengths of a node path.
+func pathLen(g *udg.Graph, path []sim.NodeID) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		total += g.Point(path[i-1]).Dist(g.Point(path[i]))
+	}
+	return total
+}
+
+var _ = geom.Point{}

@@ -1,0 +1,233 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/stats"
+	"hybridroute/internal/vis"
+	"hybridroute/internal/workload"
+)
+
+// E11 exercises the intersecting-hulls extension (paper §7 future work):
+// two holes placed so close that their convex hulls overlap. The groups
+// mechanism merges them into one joint obstacle, and routing must stay
+// correct and competitive.
+func E11(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "E11",
+		Title: "Extension: routing with intersecting convex hulls",
+		Claim: "§7 future work: when hole hulls intersect, merging hull groups restores correct, competitive routing",
+	}
+	// Two interlocking L-ish holes: convex hulls overlap although the holes
+	// themselves are disjoint.
+	holeA := []geom.Point{
+		geom.Pt(3, 3), geom.Pt(8, 3), geom.Pt(8, 4.2), geom.Pt(4.2, 4.2),
+		geom.Pt(4.2, 8), geom.Pt(3, 8),
+	}
+	holeB := []geom.Point{
+		geom.Pt(5.8, 5.4), geom.Pt(9.2, 5.4), geom.Pt(9.2, 6.6), geom.Pt(5.8, 6.6),
+	}
+	sc, err := workload.JitteredGrid(0.5, 12, 11, 1, [][]geom.Point{holeA, holeB})
+	if err != nil {
+		return nil, err
+	}
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	multi := 0
+	for _, g := range nw.Groups {
+		if len(g.Holes) > 1 {
+			multi++
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	q := 150
+	if opt.Quick {
+		q = 60
+	}
+	delivered, fallbacks := 0, 0
+	var stretch []float64
+	for i := 0; i < q; i++ {
+		p := samplePairs(rng, nw.G.N(), 1)[0]
+		out := nw.Route(p[0], p[1])
+		if !out.Reached {
+			continue
+		}
+		delivered++
+		if out.PlanFallback {
+			fallbacks++
+		}
+		if st, ok := stretchOf(nw.G, pathLen(nw.G, out.Path), p[0], p[1]); ok {
+			stretch = append(stretch, st)
+		}
+	}
+	s := stats.Summarize(stretch)
+	res.Table = stats.NewTable("metric", "value")
+	res.Table.AddRow("hulls intersect (detected)", nw.Report.HullsIntersect)
+	res.Table.AddRow("hull groups", len(nw.Groups))
+	res.Table.AddRow("multi-hole groups", multi)
+	res.Table.AddRow("delivery", fmt.Sprintf("%d/%d", delivered, q))
+	res.Table.AddRow("plan fallbacks", fallbacks)
+	res.Table.AddRow("mean stretch", s.Mean)
+	res.Table.AddRow("max stretch", s.Max)
+	res.Pass = nw.Report.HullsIntersect && multi >= 1 && delivered == q && s.Max <= 35.37
+	res.note("merged %d intersecting hulls; all %d routes delivered, max stretch %.2f", multi, delivered, s.Max)
+	return res, nil
+}
+
+// E12 measures the incremental recomputation extension: under bounded churn
+// (only a fraction of nodes moves), rings untouched by movement reuse their
+// protocol results, shrinking per-epoch rounds versus full recomputation.
+func E12(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "E12",
+		Title: "Extension: incremental recomputation under bounded churn",
+		Claim: "§7 future work: with bounded movement, only the changed parts of the overlay are recomputed",
+	}
+	// Fixed obstacles guarantee stable holes whose boundary nodes we pin.
+	side := 12.0
+	obstacles := workload.RandomConvexObstacles(opt.seed(), 3, side, side, 1.3, 1.9, 1.4)
+	n := 700
+	epochs := 4
+	if opt.Quick {
+		n, epochs = 450, 2
+	}
+	sc, err := workload.WithObstacles(opt.seed(), n, side, side, 1, obstacles)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 12})
+	if err != nil {
+		return nil, err
+	}
+	// Only 10% of the nodes move, slowly: most hole rings stay identical.
+	mob := workload.NewPartialMobility(sc, opt.seed()+1, 0.03, 0.10)
+	res.Table = stats.NewTable("epoch", "mode", "rounds", "total msgs", "rings reused", "rings total")
+	res.Table.AddRow("setup", "full", nw.Report.Rounds.Total, nw.Sim.TotalCounters().Total(), 0, nw.Report.NumHoles+1)
+	res.Pass = true
+	cur := nw
+	for e := 0; e < epochs; e++ {
+		sc = mob.Step()
+		g := sc.Build()
+		full, err := cur.Recompute(g, core.Config{Strict: true, Seed: 12})
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d full: %w", e, err)
+		}
+		inc, err := cur.Recompute(g, core.Config{Strict: true, Seed: 12, Incremental: true})
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d incremental: %w", e, err)
+		}
+		fullMsgs := full.Sim.TotalCounters().Total()
+		incMsgs := inc.Sim.TotalCounters().Total()
+		res.Table.AddRow(e, "full", full.Report.Rounds.Total, fullMsgs, 0, full.Report.NumHoles+1)
+		res.Table.AddRow(e, "incremental", inc.Report.Rounds.Total, incMsgs, inc.Report.RingsReused, inc.Report.NumHoles+1)
+		// Rounds cannot grow (rings run concurrently, so skipping small
+		// rings may not shorten the phase), and total messages must shrink.
+		if inc.Report.RingsReused == 0 || inc.Report.Rounds.Total > full.Report.Rounds.Total ||
+			incMsgs >= fullMsgs {
+			res.Pass = false
+		}
+		// The incremental network must still route correctly.
+		rng := rand.New(rand.NewSource(opt.seed() + int64(e)))
+		for i := 0; i < 8; i++ {
+			p := samplePairs(rng, inc.G.N(), 1)[0]
+			if !inc.Route(p[0], p[1]).Reached {
+				res.Pass = false
+			}
+		}
+		cur = inc
+	}
+	return res, nil
+}
+
+// E13 is the abstraction ablation: route with the full hole boundary, the
+// locally convex hull (Definition 4.1) and the convex hull as the obstacle
+// representation, and measure the storage-vs-stretch tradeoff the paper's
+// Section 4.1 space-reduction argument predicts.
+func E13(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "E13",
+		Title: "Ablation: abstraction representation vs storage and stretch",
+		Claim: "§4.1: boundary ⊇ locally convex hull ⊇ convex hull in storage; stretch grows only by constants",
+	}
+	// A large star-shaped hole makes the representations differ.
+	star := workload.StarPolygon(geom.Pt(6, 6), 2.8, 1.5, 7, 0)
+	sc, err := workload.JitteredGrid(0.5, 12, 12, 1, [][]geom.Point{star})
+	if err != nil {
+		return nil, err
+	}
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 13})
+	if err != nil {
+		return nil, err
+	}
+	// Build the three obstacle representations from the detected holes.
+	var boundary, lch, hull [][]geom.Point
+	for _, h := range nw.Holes.Holes {
+		if len(h.Polygon) < 3 {
+			continue
+		}
+		boundary = append(boundary, h.Polygon)
+		lch = append(lch, geom.LocallyConvexHull(h.Polygon, nw.G.Radius()))
+		if len(h.Hull) >= 3 {
+			hull = append(hull, h.Hull)
+		}
+	}
+	reprs := []struct {
+		name  string
+		polys [][]geom.Point
+	}{
+		{"full boundary", boundary},
+		{"locally convex hull", lch},
+		{"convex hull", hull},
+	}
+	rng := rand.New(rand.NewSource(opt.seed() + 5))
+	q := 120
+	if opt.Quick {
+		q = 50
+	}
+	pairs := samplePairs(rng, nw.G.N(), q)
+	res.Table = stats.NewTable("representation", "vertices", "graph edges", "delivery", "mean stretch", "max stretch")
+	var vertexCounts []int
+	var meanStretch []float64
+	run := func(name string, verts, edges int, route func(a, b sim.NodeID) core.Outcome) {
+		delivered := 0
+		var stretch []float64
+		for _, p := range pairs {
+			out := route(p[0], p[1])
+			if !out.Reached {
+				continue
+			}
+			delivered++
+			if st, ok := stretchOf(nw.G, pathLen(nw.G, out.Path), p[0], p[1]); ok {
+				stretch = append(stretch, st)
+			}
+		}
+		s := stats.Summarize(stretch)
+		res.Table.AddRow(name, verts, edges,
+			fmt.Sprintf("%d/%d", delivered, len(pairs)), s.Mean, s.Max)
+		vertexCounts = append(vertexCounts, verts)
+		meanStretch = append(meanStretch, s.Mean)
+	}
+	for _, rep := range reprs {
+		domain := vis.NewDomain(rep.polys)
+		run(rep.name, len(domain.Corners()), domain.CornerEdges(), func(a, b sim.NodeID) core.Outcome {
+			return nw.RouteWithObstacles(a, b, domain)
+		})
+	}
+	// Fourth arm: the other §3 space reduction — a Delaunay overlay of all
+	// hole boundary nodes instead of their full visibility graph: O(h)
+	// edges, paths at most 1.998x longer.
+	bOverlay := vis.NewOverlay(boundary)
+	run("boundary Delaunay (sec 3)", len(bOverlay.Corners()), bOverlay.EdgeCount(), func(a, b sim.NodeID) core.Outcome {
+		return nw.RouteWithOverlay(a, b, bOverlay)
+	})
+	res.Pass = vertexCounts[0] >= vertexCounts[1] && vertexCounts[1] >= vertexCounts[2] &&
+		meanStretch[2] <= 4*meanStretch[0]+1
+	res.note("vertex chain %v (monotone shrink); mean stretch %v", vertexCounts, meanStretch)
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"hybridroute/internal/geom"
+)
+
+func ExampleConvexHull() {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4),
+		geom.Pt(2, 2), geom.Pt(1, 3), // interior points vanish
+	}
+	hull := geom.ConvexHull(pts)
+	fmt.Println(len(hull), "vertices, CCW:", geom.IsConvexCCW(hull))
+	// Output: 4 vertices, CCW: true
+}
+
+func ExampleOrient() {
+	a, b := geom.Pt(0, 0), geom.Pt(1, 0)
+	fmt.Println(geom.Orient(a, b, geom.Pt(0, 1)))
+	fmt.Println(geom.Orient(a, b, geom.Pt(0, -1)))
+	fmt.Println(geom.Orient(a, b, geom.Pt(2, 0)))
+	// Output:
+	// counterclockwise
+	// clockwise
+	// collinear
+}
+
+func ExampleInCircle() {
+	a, b, c := geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(0, 2)
+	fmt.Println(geom.InCircle(a, b, c, geom.Pt(1, 1)))
+	fmt.Println(geom.InCircle(a, b, c, geom.Pt(5, 5)))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleMergeHulls() {
+	left := geom.ConvexHull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)})
+	right := geom.ConvexHull([]geom.Point{geom.Pt(3, 0), geom.Pt(4, 0), geom.Pt(4, 1), geom.Pt(3, 1)})
+	merged := geom.MergeHulls(left, right)
+	// The inner square corners are collinear with the outer ones, so the
+	// merged hull is the 4-corner bounding rectangle.
+	fmt.Println(len(merged), "hull vertices")
+	// Output: 4 hull vertices
+}
+
+func ExampleLocallyConvexHull() {
+	// A dented square boundary: the dent is removable when the shortcut
+	// stays within the radio range (Definition 4.1 of the paper).
+	cycle := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(4, 0),
+		geom.Pt(4, 4), geom.Pt(2, 3.5), geom.Pt(0, 4),
+	}
+	fmt.Println("generous range:", len(geom.LocallyConvexHull(cycle, 10)))
+	fmt.Println("tiny range:    ", len(geom.LocallyConvexHull(cycle, 0.1)))
+	// Output:
+	// generous range: 4
+	// tiny range:     6
+}

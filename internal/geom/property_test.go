@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTangentSupportProperty checks the defining property of the tangents:
+// every vertex of both hulls lies on or below the upper tangent line and on
+// or above the lower tangent line.
+func TestTangentSupportProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		nA, nB := 3+rng.Intn(30), 3+rng.Intn(30)
+		ptsA := make([]Point, nA)
+		ptsB := make([]Point, nB)
+		for i := range ptsA {
+			ptsA[i] = Pt(rng.Float64()*8, rng.Float64()*15)
+		}
+		for i := range ptsB {
+			ptsB[i] = Pt(9+rng.Float64()*8, rng.Float64()*15)
+		}
+		hullA, hullB := ConvexHull(ptsA), ConvexHull(ptsB)
+		if len(hullA) < 3 || len(hullB) < 3 {
+			continue
+		}
+		ui, uj := UpperTangent(hullA, hullB)
+		for _, p := range append(append([]Point{}, hullA...), hullB...) {
+			if p.Eq(hullA[ui]) || p.Eq(hullB[uj]) {
+				continue
+			}
+			if Orient(hullA[ui], hullB[uj], p) == CounterClockwise {
+				t.Fatalf("trial %d: point %v above upper tangent %v-%v",
+					trial, p, hullA[ui], hullB[uj])
+			}
+		}
+		li, lj := LowerTangent(hullA, hullB)
+		for _, p := range append(append([]Point{}, hullA...), hullB...) {
+			if p.Eq(hullA[li]) || p.Eq(hullB[lj]) {
+				continue
+			}
+			if Orient(hullA[li], hullB[lj], p) == Clockwise {
+				t.Fatalf("trial %d: point %v below lower tangent %v-%v",
+					trial, p, hullA[li], hullB[lj])
+			}
+		}
+	}
+}
+
+// TestConvexHullIdempotent: the hull of a hull is the hull.
+func TestConvexHullIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		pts := make([]Point, 5+rng.Intn(60))
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		h1 := ConvexHull(pts)
+		h2 := ConvexHull(h1)
+		if len(h1) != len(h2) {
+			t.Fatalf("idempotence broken: %d vs %d", len(h1), len(h2))
+		}
+	}
+}
+
+// TestLocallyConvexHullMonotoneInUnit: a larger unit can only remove more
+// vertices (every shortcut legal for a small unit is legal for a larger one).
+func TestLocallyConvexHullMonotoneInUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		poly := randomStarPolygon(rng, 10+rng.Intn(20))
+		small := LocallyConvexHull(poly, 0.5)
+		large := LocallyConvexHull(poly, 5.0)
+		if len(large) > len(small) {
+			t.Fatalf("larger unit kept more vertices: %d > %d", len(large), len(small))
+		}
+	}
+}
+
+// TestPolygonAreaAdditivity: splitting a convex polygon by a chord preserves
+// total area.
+func TestPolygonAreaAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]Point, 8+rng.Intn(20))
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 4 {
+			continue
+		}
+		k := 2 + rng.Intn(len(hull)-2)
+		left := append([]Point{}, hull[:k+1]...)
+		right := append([]Point{hull[0]}, hull[k:]...)
+		total := PolygonArea(hull)
+		sum := PolygonArea(left) + PolygonArea(right)
+		if !almostEq(total, sum, 1e-9*(1+total)) {
+			t.Fatalf("area additivity: %v vs %v", total, sum)
+		}
+	}
+}
+
+// TestSegmentIntersectionOnBothSegments: reported intersection points of
+// properly crossing segments lie on both segments.
+func TestSegmentIntersectionOnBothSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	found := 0
+	for trial := 0; trial < 500 && found < 100; trial++ {
+		s1 := Seg(Pt(rng.Float64()*10, rng.Float64()*10), Pt(rng.Float64()*10, rng.Float64()*10))
+		s2 := Seg(Pt(rng.Float64()*10, rng.Float64()*10), Pt(rng.Float64()*10, rng.Float64()*10))
+		if !SegmentsProperlyIntersect(s1, s2) {
+			continue
+		}
+		found++
+		x, ok := SegmentIntersection(s1, s2)
+		if !ok {
+			t.Fatal("crossing segments must intersect")
+		}
+		for _, s := range []Segment{s1, s2} {
+			d := s.A.Dist(x) + x.Dist(s.B) - s.Length()
+			if d > 1e-9 {
+				t.Fatalf("intersection %v off segment %v by %v", x, s, d)
+			}
+		}
+	}
+	if found < 50 {
+		t.Fatalf("only %d crossing pairs sampled", found)
+	}
+}

@@ -1,0 +1,47 @@
+package hyper_test
+
+import (
+	"fmt"
+	"math"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/hyper"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+// Example runs the full ring protocol suite (Section 5.2–5.4 of the paper)
+// on a 16-node hole boundary: pointer jumping elects the leader and yields
+// exact ranks, the angle all-reduce classifies the ring as a hole, and the
+// distributed hull computation leaves every member with the convex hull.
+func Example() {
+	const k = 16
+	pts := make([]geom.Point, k)
+	cycle := make([]sim.NodeID, k)
+	radius := k * 0.5 / (2 * math.Pi)
+	for i := 0; i < k; i++ {
+		ang := 2 * math.Pi * float64(i) / k
+		pts[i] = geom.Pt(radius*math.Cos(ang), radius*math.Sin(ang))
+		cycle[i] = sim.NodeID(i)
+	}
+	g := udg.Build(pts, 0.7)
+	s := sim.New(g, sim.Config{Strict: true})
+
+	results, rounds, err := hyper.RunRings(s, []hyper.RingSpec{{Ring: 0, Cycle: cycle}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r := results[0][5] // any member's view
+	fmt.Println("leader:", r.Leader)
+	fmt.Println("ring size:", r.Size)
+	fmt.Println("classified as hole:", r.IsHole())
+	fmt.Println("hull vertices:", len(r.Hull))
+	fmt.Println("polylog rounds:", rounds < 60)
+	// Output:
+	// leader: 0
+	// ring size: 16
+	// classified as hole: true
+	// hull vertices: 16
+	// polylog rounds: true
+}

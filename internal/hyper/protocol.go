@@ -1,0 +1,294 @@
+package hyper
+
+import (
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+)
+
+// ringState is the per-node, per-ring protocol state machine. All members of
+// a ring pass through the same phases at the same deterministic rounds:
+// pointer doubling ends at doublingRounds(k) — a bound every member can
+// compute locally as soon as it learns k — after which the hypercube phases
+// (angle all-reduce, bitonic sort, hull merge, hull broadcast) proceed in
+// lockstep, one communication step per round.
+type ringState struct {
+	ring int
+
+	// level-0 ring structure.
+	predNbr, succNbr sim.NodeID
+	selfID           sim.NodeID
+	selfPos          geom.Point
+	myTurn           float64
+	turnReady        bool
+
+	// pointer doubling.
+	succPtr, predPtr []sim.NodeID
+	agg              arcAgg
+	stable           bool
+	stableLevel      int
+
+	// facts learned from doubling.
+	leader sim.NodeID
+	k      int
+	rank   int
+	dim    int
+
+	// hypercube slot state, keyed by slot index.
+	angleSum map[int]float64
+	keys     map[int]sortKey
+	hulls    map[int][]HullVertex
+	schedule [][2]int
+
+	// startRound is the simulator round at which this protocol instance
+	// began; the lockstep schedule runs on rounds relative to it, so ring
+	// protocols can follow earlier phases on the same simulation.
+	startRound int
+
+	result *RingResult
+}
+
+func newRingState(ring int, pred, succ sim.NodeID) *ringState {
+	return &ringState{
+		ring:       ring,
+		predNbr:    pred,
+		succNbr:    succ,
+		angleSum:   map[int]float64{},
+		keys:       map[int]sortKey{},
+		hulls:      map[int][]HullVertex{},
+		startRound: -1,
+	}
+}
+
+// phase boundaries, all deterministic functions of k.
+func (st *ringState) angleStart() int { return doublingRounds(st.k) }
+func (st *ringState) sortStart() int  { return st.angleStart() + st.dim }
+func (st *ringState) mergeStart() int { return st.sortStart() + len(st.schedule) }
+func (st *ringState) bcastStart() int { return st.mergeStart() + st.dim }
+func (st *ringState) doneRound() int  { return st.bcastStart() + st.dim }
+
+// slots returns the hypercube slots hosted by this node: its rank, plus the
+// padding slot rank+k when the hypercube is larger than the ring.
+func (st *ringState) slots() []int {
+	s := []int{st.rank}
+	if st.rank+st.k < 1<<st.dim {
+		s = append(s, st.rank+st.k)
+	}
+	return s
+}
+
+// hostOf returns the node hosting the given slot, which is always reachable
+// through a stored doubling pointer: slot and host rank agree mod k, and the
+// partner of any hypercube exchange differs from the local slot by ±2^b.
+func (st *ringState) hostOf(ctx *sim.Context, slot, fromSlot, bit int) sim.NodeID {
+	if slot%st.k == st.rank {
+		return ctx.ID()
+	}
+	if fromSlot&(1<<bit) == 0 {
+		return st.succPtr[bit]
+	}
+	return st.predPtr[bit]
+}
+
+func (st *ringState) step(ctx *sim.Context, round int, inbox []sim.Envelope) {
+	if st.startRound < 0 {
+		st.startRound = round
+	}
+	round -= st.startRound
+	if !st.turnReady {
+		st.selfID = ctx.ID()
+		st.selfPos = ctx.Pos()
+		st.myTurn = geom.TurnAngle(ctx.PosOf(st.predNbr), ctx.Pos(), ctx.PosOf(st.succNbr))
+		st.turnReady = true
+		st.agg = arcAgg{min: ctx.ID(), occ1: 0, occ2: -1, count: 1}
+		st.succPtr = []sim.NodeID{st.succNbr}
+		st.predPtr = []sim.NodeID{st.predNbr}
+	}
+
+	// Process all deliveries first, regardless of the local phase; messages
+	// are self-describing (ring, step, slot).
+	for _, env := range inbox {
+		switch msg := env.Msg.(type) {
+		case ptrMsg:
+			st.onPtr(msg)
+		case angleMsg:
+			st.angleSum[msg.slot] += msg.sum
+		case keyMsg:
+			st.onKey(msg)
+		case hullMsg:
+			st.onHull(msg)
+		}
+	}
+
+	// Doubling sends: at round t, advertise the level-t pointers to the
+	// level-t pointer targets, so arcs double: the node 2^t behind extends
+	// its succ pointer to 2^(t+1), the node 2^t ahead extends its pred
+	// pointer. Sends stop once the local arc has stabilized (and every node
+	// that still needs this node's arcs has received them; stabilization
+	// rounds differ by at most one across the ring).
+	if round < len(st.succPtr) && round < len(st.predPtr) {
+		lvl := len(st.succPtr) - 1
+		ctx.SendLong(st.predPtr[lvl], ptrMsg{
+			ring: st.ring, level: lvl, succ: true,
+			ptr: st.succPtr[lvl], agg: st.agg,
+		})
+		ctx.SendLong(st.succPtr[lvl], ptrMsg{
+			ring: st.ring, level: lvl, succ: false,
+			ptr: st.predPtr[lvl],
+		})
+	}
+	if !st.stable {
+		return
+	}
+
+	// Hypercube phases at deterministic rounds.
+	switch {
+	case round >= st.angleStart() && round < st.sortStart():
+		b := round - st.angleStart()
+		for _, s := range st.slots() {
+			partner := s ^ (1 << b)
+			ctx.SendLong(st.hostOf(ctx, partner, s, b), angleMsg{
+				ring: st.ring, step: b, slot: partner, sum: st.angleSum[s],
+			})
+		}
+	case round >= st.sortStart() && round < st.mergeStart():
+		t := round - st.sortStart()
+		j := st.schedule[t][1]
+		bit := bitOf(j)
+		for _, s := range st.slots() {
+			partner := s ^ j
+			ctx.SendLong(st.hostOf(ctx, partner, s, bit), keyMsg{
+				ring: st.ring, step: t, slot: partner, key: st.keys[s],
+			})
+		}
+	case round >= st.mergeStart() && round < st.bcastStart():
+		b := round - st.mergeStart()
+		for _, s := range st.slots() {
+			if s%(1<<(b+1)) == 1<<b { // right-half group leader
+				target := s - 1<<b
+				ctx.SendLong(st.hostOf(ctx, target, s, b), hullMsg{
+					ring: st.ring, step: b, slot: target, hull: st.hulls[s],
+				})
+			}
+		}
+	case round >= st.bcastStart() && round < st.doneRound():
+		b := round - st.bcastStart()
+		for _, s := range st.slots() {
+			if s < 1<<b {
+				target := s + 1<<b
+				if target < 1<<st.dim {
+					ctx.SendLong(st.hostOf(ctx, target, s, b), hullMsg{
+						ring: st.ring, step: b, slot: target, final: true, hull: st.hulls[s],
+					})
+				}
+			}
+		}
+	case round >= st.doneRound() && st.result == nil:
+		st.finalize(ctx)
+	}
+}
+
+func (st *ringState) onPtr(msg ptrMsg) {
+	if st.stable && msg.level > st.stableLevel {
+		return
+	}
+	if msg.succ {
+		// From my succ-side pointer: extend succ pointer and arc aggregate.
+		if len(st.succPtr) == msg.level+1 {
+			st.succPtr = append(st.succPtr, msg.ptr)
+			st.agg = combineArcs(st.agg, msg.agg)
+			st.checkStable(msg.level + 1)
+		}
+	} else {
+		if len(st.predPtr) == msg.level+1 {
+			st.predPtr = append(st.predPtr, msg.ptr)
+		}
+	}
+}
+
+func (st *ringState) checkStable(level int) {
+	if st.stable || st.agg.occ2 < 0 {
+		return
+	}
+	st.stable = true
+	st.stableLevel = level
+	st.leader = st.agg.min
+	st.k = st.agg.occ2 - st.agg.occ1
+	st.rank = (st.k - st.agg.occ1) % st.k
+	st.dim = hypercubeDim(st.k)
+	st.schedule = bitonicSchedule(st.dim)
+
+	// Initialize hypercube slot state: the primary slot carries the node's
+	// own turn angle and coordinate; the padding slot (if any) is neutral.
+	for _, s := range st.slots() {
+		if s == st.rank {
+			st.angleSum[s] = st.myTurn
+			st.keys[s] = sortKey{pt: st.selfPos, id: st.selfID}
+		} else {
+			st.angleSum[s] = 0
+			st.keys[s] = sortKey{sentinel: true}
+		}
+	}
+}
+
+func (st *ringState) onKey(msg keyMsg) {
+	t := msg.step
+	stage, j := st.schedule[t][0], st.schedule[t][1]
+	s := msg.slot
+	partner := s ^ j
+	mine, theirs := st.keys[s], msg.key
+	var lo, hi sortKey
+	if keyLess(mine, theirs) {
+		lo, hi = mine, theirs
+	} else {
+		lo, hi = theirs, mine
+	}
+	ascending := s&stage == 0
+	keepLow := (s < partner) == ascending
+	if keepLow {
+		st.keys[s] = lo
+	} else {
+		st.keys[s] = hi
+	}
+	// When sorting finishes, seed the hull for the merge phase.
+	if t == len(st.schedule)-1 {
+		if st.keys[s].sentinel {
+			st.hulls[s] = nil
+		} else {
+			st.hulls[s] = []HullVertex{{ID: st.keys[s].id, Pt: st.keys[s].pt}}
+		}
+	}
+}
+
+func (st *ringState) onHull(msg hullMsg) {
+	if msg.final {
+		st.hulls[msg.slot] = msg.hull
+		return
+	}
+	st.hulls[msg.slot] = mergeHullVertices(st.hulls[msg.slot], msg.hull)
+}
+
+func (st *ringState) finalize(ctx *sim.Context) {
+	hull := sortHullCCW(st.hulls[st.rank])
+	res := &RingResult{
+		Ring:     st.ring,
+		Leader:   st.leader,
+		Size:     st.k,
+		Rank:     st.rank,
+		AngleSum: st.angleSum[st.rank],
+		Hull:     hull,
+	}
+	for _, h := range hull {
+		if h.ID == ctx.ID() {
+			res.IsHull = true
+		}
+	}
+	st.result = res
+}
+
+func bitOf(j int) int {
+	b := 0
+	for 1<<b < j {
+		b++
+	}
+	return b
+}

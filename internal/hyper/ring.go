@@ -1,0 +1,379 @@
+// Package hyper implements the ring protocols of Section 5 of the paper on
+// top of the synchronous simulator: pointer jumping over a ring of boundary
+// nodes (Section 5.2), which simultaneously elects the minimum-ID leader,
+// determines the exact ring size and every node's rank; hypercube emulation
+// over the ring using the pointers created by the doubling; a signed
+// turn-angle all-reduce that distinguishes radio holes from the outer
+// boundary (Section 5.4); Batcher bitonic sort on the emulated hypercube
+// (the paper's deterministic alternative to Reif–Valiant); and the
+// distributed convex hull computation in the style of Miller–Stout
+// (Section 5.3): sorted sub-hulls merged tangent-wise dimension by dimension,
+// followed by a binomial broadcast of the final hull.
+//
+// All communication flows through the sim package and respects the
+// ID-introduction rules: every pointer a node uses was carried to it by an
+// earlier message (or is an original ring neighbour).
+package hyper
+
+import (
+	"math"
+	"sort"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+)
+
+// RingSpec describes one ring instance: a cycle of distinct nodes in ring
+// order. Ring is an arbitrary identifier used to multiplex messages when
+// several rings run concurrently (every hole plus the outer boundary).
+type RingSpec struct {
+	Ring  int
+	Cycle []sim.NodeID
+}
+
+// HullVertex is a convex hull vertex together with the node that hosts it.
+type HullVertex struct {
+	ID sim.NodeID
+	Pt geom.Point
+}
+
+// RingResult is what every ring member knows when the protocol terminates.
+type RingResult struct {
+	Ring     int
+	Leader   sim.NodeID
+	Size     int     // exact number of ring nodes k
+	Rank     int     // this node's distance from the leader in succ direction
+	AngleSum float64 // total signed turn angle: ≈ +2π for holes (CCW), -2π for the outer boundary
+	Hull     []HullVertex
+	IsHull   bool // whether this node is a convex hull vertex of its ring
+}
+
+// IsHole reports whether the ring is a radio hole boundary (as opposed to
+// the outer boundary of the network), decided by the angle-sum sign.
+func (r *RingResult) IsHole() bool { return r.AngleSum > 0 }
+
+// protocol phases, entered in lockstep at deterministic rounds derived from
+// the ring size k (every member learns the same k during doubling).
+const (
+	phaseDoubling = iota
+	phaseAngle    // all-reduce of turn angles over the hypercube
+	phaseSort     // bitonic sort of member coordinates
+	phaseMerge    // dimension-wise hull merging
+	phaseBcast    // binomial broadcast of the final hull
+	phaseDone
+)
+
+// arcAgg aggregates a succ-direction arc [v, w) of the ring during pointer
+// doubling: the minimum member ID, the offsets (from the arc start) of its
+// first and second occurrence, and the arc length. Because min is
+// idempotent, the aggregate stays correct even after the arc wraps past the
+// ring length; the distance between the first two occurrences of the global
+// minimum is then exactly the ring size.
+type arcAgg struct {
+	min   sim.NodeID
+	occ1  int // offset of first occurrence of min, from arc start
+	occ2  int // offset of second occurrence, or -1
+	count int // arc length
+}
+
+func combineArcs(a, b arcAgg) arcAgg {
+	out := arcAgg{count: a.count + b.count, occ2: -1}
+	switch {
+	case a.min < b.min:
+		out.min, out.occ1, out.occ2 = a.min, a.occ1, a.occ2
+	case b.min < a.min:
+		out.min, out.occ1 = b.min, a.count+b.occ1
+		if b.occ2 >= 0 {
+			out.occ2 = a.count + b.occ2
+		}
+	default: // same minimum on both sides
+		out.min, out.occ1 = a.min, a.occ1
+		if a.occ2 >= 0 {
+			out.occ2 = a.occ2
+		} else {
+			out.occ2 = a.count + b.occ1
+		}
+	}
+	return out
+}
+
+// sortKey is a bitonic sort element: a member coordinate with its node ID.
+// Virtual (padding) slots carry sentinel keys that sort after all real keys.
+type sortKey struct {
+	pt       geom.Point
+	id       sim.NodeID
+	sentinel bool
+}
+
+func keyLess(a, b sortKey) bool {
+	if a.sentinel != b.sentinel {
+		return !a.sentinel
+	}
+	if a.sentinel {
+		return false
+	}
+	if a.pt.X != b.pt.X {
+		return a.pt.X < b.pt.X
+	}
+	if a.pt.Y != b.pt.Y {
+		return a.pt.Y < b.pt.Y
+	}
+	return a.id < b.id
+}
+
+// --- messages ---------------------------------------------------------
+
+// ptrMsg advances pointer doubling: "my level-i pointer is ptr, my level-i
+// succ-arc aggregate is agg" (succ=true), or the pred-side pointer
+// (succ=false).
+type ptrMsg struct {
+	ring  int
+	level int
+	succ  bool
+	ptr   sim.NodeID
+	agg   arcAgg
+}
+
+func (m ptrMsg) Words() int               { return 7 }
+func (m ptrMsg) CarriedIDs() []sim.NodeID { return []sim.NodeID{m.ptr} }
+
+// angleMsg carries a partial turn-angle sum for one hypercube slot during
+// the all-reduce.
+type angleMsg struct {
+	ring int
+	step int
+	slot int // destination slot
+	sum  float64
+}
+
+func (m angleMsg) Words() int { return 4 }
+
+// keyMsg carries a sort key between hypercube slots during bitonic sort.
+type keyMsg struct {
+	ring int
+	step int
+	slot int // destination slot
+	key  sortKey
+}
+
+func (m keyMsg) Words() int               { return 7 }
+func (m keyMsg) CarriedIDs() []sim.NodeID { return []sim.NodeID{m.key.id} }
+
+// hullMsg carries a partial or final convex hull between hypercube slots.
+type hullMsg struct {
+	ring  int
+	step  int
+	slot  int // destination slot
+	final bool
+	hull  []HullVertex
+}
+
+func (m hullMsg) Words() int { return 4 + 3*len(m.hull) }
+func (m hullMsg) CarriedIDs() []sim.NodeID {
+	ids := make([]sim.NodeID, len(m.hull))
+	for i, h := range m.hull {
+		ids[i] = h.ID
+	}
+	return ids
+}
+
+// --- driver ------------------------------------------------------------
+
+// RunRings executes the full ring protocol suite for all given rings
+// concurrently on a fresh simulation over g's UDG and returns per-ring,
+// per-node results plus the number of communication rounds. Nodes may
+// appear on several rings. The sim is returned so callers can inspect
+// communication counters.
+func RunRings(s *sim.Sim, rings []RingSpec) (map[int]map[sim.NodeID]*RingResult, int, error) {
+	nodes := make(map[sim.NodeID]*MuxProto)
+	for _, spec := range rings {
+		k := len(spec.Cycle)
+		for i, v := range spec.Cycle {
+			mp := nodes[v]
+			if mp == nil {
+				mp = &MuxProto{states: map[int]*ringState{}}
+				nodes[v] = mp
+			}
+			pred := spec.Cycle[(i-1+k)%k]
+			succ := spec.Cycle[(i+1)%k]
+			mp.states[spec.Ring] = newRingState(spec.Ring, pred, succ)
+		}
+	}
+	for v, mp := range nodes {
+		s.SetProto(v, mp)
+	}
+	rounds, err := s.Run()
+	if err != nil {
+		return nil, rounds, err
+	}
+	out := make(map[int]map[sim.NodeID]*RingResult)
+	for v, mp := range nodes {
+		for ring, st := range mp.states {
+			if out[ring] == nil {
+				out[ring] = make(map[sim.NodeID]*RingResult)
+			}
+			out[ring][v] = st.result
+		}
+	}
+	return out, rounds, nil
+}
+
+// MuxProto multiplexes several ring-protocol instances (one per ring the
+// node belongs to) onto a single simulator node.
+type MuxProto struct {
+	states map[int]*ringState
+	order  []int // sorted ring IDs, built lazily
+}
+
+// Step dispatches delivered messages by ring tag and advances every ring
+// state machine once per round, in ring-ID order so message emission (and
+// therefore the whole simulation) is deterministic run to run.
+func (m *MuxProto) Step(ctx *sim.Context, round int, inbox []sim.Envelope) {
+	byRing := make(map[int][]sim.Envelope)
+	for _, env := range inbox {
+		switch msg := env.Msg.(type) {
+		case ptrMsg:
+			byRing[msg.ring] = append(byRing[msg.ring], env)
+		case angleMsg:
+			byRing[msg.ring] = append(byRing[msg.ring], env)
+		case keyMsg:
+			byRing[msg.ring] = append(byRing[msg.ring], env)
+		case hullMsg:
+			byRing[msg.ring] = append(byRing[msg.ring], env)
+		}
+	}
+	if m.order == nil {
+		for ring := range m.states {
+			m.order = append(m.order, ring)
+		}
+		sort.Ints(m.order)
+	}
+	for _, ring := range m.order {
+		m.states[ring].step(ctx, round, byRing[ring])
+	}
+}
+
+// Results returns the per-ring results of this node.
+func (m *MuxProto) Results() map[int]*RingResult {
+	out := make(map[int]*RingResult, len(m.states))
+	for ring, st := range m.states {
+		out[ring] = st.result
+	}
+	return out
+}
+
+// doublingRounds is the deterministic round at which every member of a ring
+// of size k has finished pointer doubling: arcs must reach length ≥ 2k for
+// every member to see the second occurrence of the leader (the node with
+// maximal distance to the leader stabilizes while processing the inbox of
+// round ⌈log₂ 2k⌉), so the hypercube phases can start one round later.
+func doublingRounds(k int) int {
+	return ceilLog2(2*k) + 1
+}
+
+func ceilLog2(x int) int {
+	d := 0
+	for 1<<d < x {
+		d++
+	}
+	return d
+}
+
+// hypercubeDim returns D = ⌈log2 k⌉, the dimension of the emulated
+// hypercube with 2^D ≥ k slots.
+func hypercubeDim(k int) int { return ceilLog2(k) }
+
+// bitonicSchedule returns the ordered (stage, distance) pairs of Batcher's
+// bitonic sorting network for 2^d elements; each pair is one compare-exchange
+// communication step.
+func bitonicSchedule(d int) [][2]int {
+	var steps [][2]int
+	for k := 2; k <= 1<<d; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			steps = append(steps, [2]int{k, j})
+		}
+	}
+	return steps
+}
+
+// sortHullCCW orders hull vertices counterclockwise starting from the
+// lexicographically smallest vertex, normalizing the representation that
+// reaches every ring member.
+func sortHullCCW(hull []HullVertex) []HullVertex {
+	if len(hull) <= 2 {
+		return hull
+	}
+	pts := make([]geom.Point, len(hull))
+	byPt := make(map[geom.Point]HullVertex, len(hull))
+	for i, h := range hull {
+		pts[i] = h.Pt
+		byPt[h.Pt] = h
+	}
+	ccw := geom.ConvexHull(pts)
+	out := make([]HullVertex, 0, len(ccw))
+	for _, p := range ccw {
+		if h, ok := byPt[p]; ok {
+			out = append(out, h)
+		}
+	}
+	// Rotate so the smallest ID comes first, for determinism.
+	best := 0
+	for i := range out {
+		if out[i].ID < out[best].ID {
+			best = i
+		}
+	}
+	return append(out[best:], out[:best]...)
+}
+
+// hullPoints extracts the coordinates of hull vertices.
+func hullPoints(hull []HullVertex) []geom.Point {
+	pts := make([]geom.Point, len(hull))
+	for i, h := range hull {
+		pts[i] = h.Pt
+	}
+	return pts
+}
+
+// mergeHullVertices merges two sub-hulls whose point sets are separated in
+// x (left entirely before right). When the separation assumption is not met
+// (possible with duplicate x coordinates) it falls back to a full recompute,
+// which costs no extra communication.
+func mergeHullVertices(left, right []HullVertex) []HullVertex {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	byPt := make(map[geom.Point]HullVertex, len(left)+len(right))
+	for _, h := range left {
+		byPt[h.Pt] = h
+	}
+	for _, h := range right {
+		byPt[h.Pt] = h
+	}
+	var merged []geom.Point
+	lp, rp := hullPoints(left), hullPoints(right)
+	maxL, minR := math.Inf(-1), math.Inf(1)
+	for _, p := range lp {
+		maxL = math.Max(maxL, p.X)
+	}
+	for _, p := range rp {
+		minR = math.Min(minR, p.X)
+	}
+	if len(lp) >= 3 && len(rp) >= 3 && maxL < minR {
+		merged = geom.MergeHulls(lp, rp)
+	} else {
+		merged = geom.ConvexHull(append(append([]geom.Point{}, lp...), rp...))
+	}
+	// Preserve the CCW order produced by the geometric merge: subsequent
+	// merge steps rely on their inputs being CCW hulls.
+	out := make([]HullVertex, 0, len(merged))
+	for _, p := range merged {
+		if h, ok := byPt[p]; ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+package hyper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+// circleRing builds k points on a circle in shuffled ID order and returns
+// the UDG (radius slightly above the chord length so ring neighbours are UDG
+// neighbours) plus the cycle in counterclockwise ring order.
+func circleRing(rng *rand.Rand, k int) (*udg.Graph, []sim.NodeID) {
+	radius := float64(k) * 0.5 / (2 * math.Pi) // chord ≈ 0.5
+	perm := rng.Perm(k)                        // perm[i] = ID of the i-th circle position
+	pts := make([]geom.Point, k)
+	cycle := make([]sim.NodeID, k)
+	for i, id := range perm {
+		ang := 2 * math.Pi * float64(i) / float64(k)
+		pts[id] = geom.Pt(10+radius*math.Cos(ang), 10+radius*math.Sin(ang))
+		cycle[i] = sim.NodeID(id)
+	}
+	chord := 2 * radius * math.Sin(math.Pi/float64(k))
+	return udg.Build(pts, chord*1.2), cycle
+}
+
+func reverseCycle(c []sim.NodeID) []sim.NodeID {
+	out := make([]sim.NodeID, len(c))
+	for i := range c {
+		out[i] = c[len(c)-1-i]
+	}
+	return out
+}
+
+func runSingleRing(t *testing.T, rng *rand.Rand, k int, ccw bool) (map[sim.NodeID]*RingResult, *sim.Sim, int) {
+	t.Helper()
+	g, cycle := circleRing(rng, k)
+	if !ccw {
+		cycle = reverseCycle(cycle)
+	}
+	s := sim.New(g, sim.Config{Strict: true})
+	results, rounds, err := RunRings(s, []RingSpec{{Ring: 1, Cycle: cycle}})
+	if err != nil {
+		t.Fatalf("k=%d: %v", k, err)
+	}
+	return results[1], s, rounds
+}
+
+func TestRingLeaderSizeRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{3, 4, 5, 8, 13, 16, 33, 64} {
+		res, _, _ := runSingleRing(t, rng, k, true)
+		if len(res) != k {
+			t.Fatalf("k=%d: %d results", k, len(res))
+		}
+		ranks := map[int]bool{}
+		for v, r := range res {
+			if r == nil {
+				t.Fatalf("k=%d: node %d has no result", k, v)
+			}
+			if r.Leader != 0 {
+				t.Fatalf("k=%d: leader = %d, want 0 (minimum ID)", k, r.Leader)
+			}
+			if r.Size != k {
+				t.Fatalf("k=%d: size = %d", k, r.Size)
+			}
+			if r.Rank < 0 || r.Rank >= k || ranks[r.Rank] {
+				t.Fatalf("k=%d: bad/duplicate rank %d", k, r.Rank)
+			}
+			ranks[r.Rank] = true
+		}
+		if res[0].Rank != 0 {
+			t.Fatalf("k=%d: leader rank = %d", k, res[0].Rank)
+		}
+	}
+}
+
+func TestRingRanksFollowCycleOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, cycle := circleRing(rng, 12)
+	s := sim.New(g, sim.Config{Strict: true})
+	results, _, err := RunRings(s, []RingSpec{{Ring: 7, Cycle: cycle}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[7]
+	// Find the cycle position of the leader; ranks must increase along the
+	// cycle (succ direction) from there.
+	leaderPos := -1
+	for i, v := range cycle {
+		if v == res[cycle[i]].Leader {
+			leaderPos = i
+			break
+		}
+	}
+	if leaderPos < 0 {
+		t.Fatal("leader not on cycle")
+	}
+	for off := 0; off < len(cycle); off++ {
+		v := cycle[(leaderPos+off)%len(cycle)]
+		if res[v].Rank != off {
+			t.Fatalf("node %d at offset %d has rank %d", v, off, res[v].Rank)
+		}
+	}
+}
+
+func TestRingAngleSumDetectsOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{5, 16, 40} {
+		res, _, _ := runSingleRing(t, rng, k, true)
+		for v, r := range res {
+			if math.Abs(r.AngleSum-2*math.Pi) > 1e-6 {
+				t.Fatalf("k=%d CCW: node %d angle sum %v, want 2π", k, v, r.AngleSum)
+			}
+			if !r.IsHole() {
+				t.Fatalf("CCW ring must classify as hole")
+			}
+		}
+		res, _, _ = runSingleRing(t, rng, k, false)
+		for v, r := range res {
+			if math.Abs(r.AngleSum+2*math.Pi) > 1e-6 {
+				t.Fatalf("k=%d CW: node %d angle sum %v, want -2π", k, v, r.AngleSum)
+			}
+			if r.IsHole() {
+				t.Fatalf("CW ring must classify as outer boundary")
+			}
+		}
+	}
+}
+
+func TestRingHullOnCircleIsEverything(t *testing.T) {
+	// All points on a circle are hull vertices.
+	rng := rand.New(rand.NewSource(4))
+	res, _, _ := runSingleRing(t, rng, 17, true)
+	for v, r := range res {
+		if len(r.Hull) != 17 {
+			t.Fatalf("node %d sees hull of %d vertices, want 17", v, len(r.Hull))
+		}
+		if !r.IsHull {
+			t.Fatalf("node %d should be a hull vertex", v)
+		}
+	}
+}
+
+// starRing builds a star-shaped (alternating radius) ring where only the
+// outer spikes are hull vertices.
+func starRing(k int) (*udg.Graph, []sim.NodeID, map[sim.NodeID]bool) {
+	if k%2 != 0 {
+		panic("starRing needs even k")
+	}
+	pts := make([]geom.Point, k)
+	cycle := make([]sim.NodeID, k)
+	wantHull := map[sim.NodeID]bool{}
+	R := float64(k) / (2 * math.Pi) * 0.9
+	for i := 0; i < k; i++ {
+		r := R
+		if i%2 == 1 {
+			r = R * 0.8
+		} else {
+			wantHull[sim.NodeID(i)] = true
+		}
+		ang := 2 * math.Pi * float64(i) / float64(k)
+		pts[i] = geom.Pt(20+r*math.Cos(ang), 20+r*math.Sin(ang))
+		cycle[i] = sim.NodeID(i)
+	}
+	return udg.Build(pts, 2.5), cycle, wantHull
+}
+
+func TestRingHullStar(t *testing.T) {
+	g, cycle, wantHull := starRing(20)
+	s := sim.New(g, sim.Config{Strict: true})
+	results, _, err := RunRings(s, []RingSpec{{Ring: 0, Cycle: cycle}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range results[0] {
+		if r.IsHull != wantHull[v] {
+			t.Errorf("node %d: IsHull=%v want %v", v, r.IsHull, wantHull[v])
+		}
+		if len(r.Hull) != len(wantHull) {
+			t.Fatalf("hull size %d, want %d", len(r.Hull), len(wantHull))
+		}
+		// Hull must be consistent across nodes and match the geometric hull.
+		want := geom.ConvexHull(g.Points())
+		if len(want) != len(r.Hull) {
+			t.Fatalf("hull mismatch: %d vs geometric %d", len(r.Hull), len(want))
+		}
+	}
+}
+
+func TestRingRoundsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{8, 32, 128, 512} {
+		_, _, rounds := runSingleRing(t, rng, k, true)
+		d := hypercubeDim(k)
+		// doubling + angle allreduce + bitonic sort + merge + bcast + slack
+		budget := doublingRounds(k) + d + d*(d+1)/2 + 2*d + 4
+		if rounds > budget {
+			t.Errorf("k=%d: rounds=%d exceeds budget %d", k, rounds, budget)
+		}
+	}
+}
+
+func TestRingMessagesPerNodePolylog(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range []int{16, 64, 256} {
+		_, s, _ := runSingleRing(t, rng, k, true)
+		max := s.MaxCounters()
+		d := float64(hypercubeDim(k))
+		// Each round sends O(1) messages per node (≤ 2 slots, ≤ 2 pointer
+		// messages), and there are O(log² k) rounds.
+		budget := int(8*d*d + 40)
+		if max.Total() > budget {
+			t.Errorf("k=%d: max msgs/node = %d exceeds budget %d", k, max.Total(), budget)
+		}
+	}
+}
+
+func TestTwoRingsConcurrently(t *testing.T) {
+	// Two disjoint circles in one simulation; both protocols must finish
+	// correctly with multiplexed messages.
+	k1, k2 := 9, 14
+	var pts []geom.Point
+	mk := func(cx, cy float64, k int, base int) []sim.NodeID {
+		radius := float64(k) * 0.5 / (2 * math.Pi)
+		cycle := make([]sim.NodeID, k)
+		for i := 0; i < k; i++ {
+			ang := 2 * math.Pi * float64(i) / float64(k)
+			pts = append(pts, geom.Pt(cx+radius*math.Cos(ang), cy+radius*math.Sin(ang)))
+			cycle[i] = sim.NodeID(base + i)
+		}
+		return cycle
+	}
+	c1 := mk(0, 0, k1, 0)
+	c2 := mk(30, 30, k2, k1)
+	g := udg.Build(pts, 0.7)
+	s := sim.New(g, sim.Config{Strict: true})
+	results, _, err := RunRings(s, []RingSpec{{Ring: 1, Cycle: c1}, {Ring: 2, Cycle: c2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[1]) != k1 || len(results[2]) != k2 {
+		t.Fatalf("result sizes %d/%d", len(results[1]), len(results[2]))
+	}
+	for _, r := range results[1] {
+		if r.Size != k1 || r.Leader != 0 {
+			t.Fatalf("ring 1: %+v", r)
+		}
+	}
+	for _, r := range results[2] {
+		if r.Size != k2 || r.Leader != sim.NodeID(k1) {
+			t.Fatalf("ring 2: %+v", r)
+		}
+	}
+}
+
+func TestCombineArcsProperties(t *testing.T) {
+	// Simulate arcs over an explicit ring and check against brute force.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		k := 3 + rng.Intn(30)
+		ids := rng.Perm(k) // ring order of IDs
+		// Build aggregate for the arc [start, start+len) by combining single
+		// elements left to right in randomized tree order via sequential fold.
+		start := rng.Intn(k)
+		arcLen := 1 + rng.Intn(2*k)
+		agg := arcAgg{min: sim.NodeID(ids[start]), occ1: 0, occ2: -1, count: 1}
+		for i := 1; i < arcLen; i++ {
+			nxt := arcAgg{min: sim.NodeID(ids[(start+i)%k]), occ1: 0, occ2: -1, count: 1}
+			agg = combineArcs(agg, nxt)
+		}
+		// Brute force.
+		min := sim.NodeID(1 << 30)
+		occ1, occ2 := -1, -1
+		for i := 0; i < arcLen; i++ {
+			id := sim.NodeID(ids[(start+i)%k])
+			if id < min {
+				min, occ1, occ2 = id, i, -1
+			} else if id == min {
+				if occ2 < 0 {
+					occ2 = i
+				}
+			}
+		}
+		if agg.min != min || agg.occ1 != occ1 || agg.occ2 != occ2 || agg.count != arcLen {
+			t.Fatalf("agg=%+v want min=%d occ1=%d occ2=%d count=%d", agg, min, occ1, occ2, arcLen)
+		}
+	}
+}
+
+func TestBitonicScheduleShape(t *testing.T) {
+	sched := bitonicSchedule(3)
+	if len(sched) != 6 { // d(d+1)/2 for d=3
+		t.Fatalf("schedule length = %d", len(sched))
+	}
+	want := [][2]int{{2, 1}, {4, 2}, {4, 1}, {8, 4}, {8, 2}, {8, 1}}
+	for i, s := range sched {
+		if s != want[i] {
+			t.Fatalf("schedule[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for x, want := range cases {
+		if got := ceilLog2(x); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func BenchmarkRingProtocol256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		g, cycle := circleRing(rng, 256)
+		s := sim.New(g, sim.Config{Strict: true})
+		if _, _, err := RunRings(s, []RingSpec{{Ring: 0, Cycle: cycle}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRingParallelSimEquivalent checks the ring suite produces identical
+// results under parallel simulator stepping.
+func TestRingParallelSimEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, cycle := circleRing(rng, 300)
+	run := func(parallel bool) (map[sim.NodeID]*RingResult, sim.Counters) {
+		s := sim.New(g, sim.Config{Strict: true, Parallel: parallel})
+		results, _, err := RunRings(s, []RingSpec{{Ring: 0, Cycle: cycle}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0], s.TotalCounters()
+	}
+	seq, seqCnt := run(false)
+	par, parCnt := run(true)
+	if seqCnt != parCnt {
+		t.Fatalf("counters differ: %+v vs %+v", seqCnt, parCnt)
+	}
+	for v, r := range seq {
+		p := par[v]
+		if p.Rank != r.Rank || p.Size != r.Size || p.Leader != r.Leader ||
+			p.IsHull != r.IsHull || len(p.Hull) != len(r.Hull) {
+			t.Fatalf("node %d differs between modes", v)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package hyper
+
+import (
+	"math"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+// TestSharedNodeBetweenRings runs two rings that share exactly one node —
+// the situation of a boundary node lying on two holes — and checks the
+// multiplexed protocol instances stay independent and correct.
+func TestSharedNodeBetweenRings(t *testing.T) {
+	// Two circles tangent at the origin-side node 0.
+	k1, k2 := 10, 14
+	var pts []geom.Point
+	r1 := float64(k1) * 0.5 / (2 * math.Pi)
+	r2 := float64(k2) * 0.5 / (2 * math.Pi)
+	// Node 0 sits at the tangent point; circle 1 to its left, circle 2 right.
+	pts = append(pts, geom.Pt(0, 0))
+	c1 := make([]sim.NodeID, 0, k1)
+	c1 = append(c1, 0)
+	for i := 1; i < k1; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(k1)
+		pts = append(pts, geom.Pt(-r1+r1*math.Cos(ang), r1*math.Sin(ang)))
+		c1 = append(c1, sim.NodeID(len(pts)-1))
+	}
+	c2 := make([]sim.NodeID, 0, k2)
+	c2 = append(c2, 0)
+	for i := 1; i < k2; i++ {
+		ang := math.Pi + 2*math.Pi*float64(i)/float64(k2)
+		pts = append(pts, geom.Pt(r2+r2*math.Cos(ang), r2*math.Sin(ang)))
+		c2 = append(c2, sim.NodeID(len(pts)-1))
+	}
+	g := udg.Build(pts, 1.5)
+	s := sim.New(g, sim.Config{Strict: true})
+	// Grant ring-neighbour knowledge (the tangent construction may exceed
+	// the chord-based UDG estimate).
+	for _, cyc := range [][]sim.NodeID{c1, c2} {
+		k := len(cyc)
+		for i, v := range cyc {
+			s.Teach(v, cyc[(i+1)%k])
+			s.Teach(v, cyc[(i-1+k)%k])
+		}
+	}
+	results, _, err := RunRings(s, []RingSpec{{Ring: 1, Cycle: c1}, {Ring: 2, Cycle: c2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[1]) != k1 || len(results[2]) != k2 {
+		t.Fatalf("membership %d/%d", len(results[1]), len(results[2]))
+	}
+	for ring, want := range map[int]int{1: k1, 2: k2} {
+		for v, r := range results[ring] {
+			if r == nil {
+				t.Fatalf("ring %d node %d: nil result", ring, v)
+			}
+			if r.Size != want {
+				t.Fatalf("ring %d node %d: size %d want %d", ring, v, r.Size, want)
+			}
+			if r.Leader != 0 {
+				t.Fatalf("ring %d: leader %d (node 0 is on both rings and is minimal)", ring, r.Leader)
+			}
+		}
+	}
+	// The shared node participates in both rings with distinct ranks/statuses.
+	shared := results[1][0]
+	shared2 := results[2][0]
+	if shared == nil || shared2 == nil {
+		t.Fatal("shared node missing a result")
+	}
+	if shared.Ring == shared2.Ring {
+		t.Fatal("results must be per-ring")
+	}
+}
+
+func TestRingOfThree(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 0.8)}
+	g := udg.Build(pts, 1.4)
+	s := sim.New(g, sim.Config{Strict: true})
+	results, _, err := RunRings(s, []RingSpec{{Ring: 0, Cycle: []sim.NodeID{0, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range results[0] {
+		if r == nil || r.Size != 3 || len(r.Hull) != 3 || !r.IsHull {
+			t.Fatalf("node %d: %+v", v, r)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package overlaytree
+
+import (
+	"fmt"
+
+	"hybridroute/internal/sim"
+)
+
+// Build constructs the overlay tree on the given simulation. It installs
+// protocols on every node, runs merge phases until a single component spans
+// the network, and returns the resulting tree. The UDG must be connected.
+// Communication rounds accumulate on the simulation's round counter.
+func Build(s *sim.Sim) (*Tree, error) {
+	n := s.Graph().N()
+	if n == 0 {
+		return nil, fmt.Errorf("overlaytree: empty graph")
+	}
+	states := make([]*nodeState, n)
+	for v := 0; v < n; v++ {
+		states[v] = &nodeState{
+			self:       sim.NodeID(v),
+			label:      sim.NodeID(v),
+			parent:     sim.NodeID(v),
+			proposedTo: -1,
+		}
+	}
+	for v := 0; v < n; v++ {
+		st := states[v]
+		s.SetProto(sim.NodeID(v), ProtoForState(st))
+	}
+
+	for phase := 0; phase < n+1; phase++ {
+		for _, st := range states {
+			st.beginPhase(phase)
+		}
+		if _, err := s.Run(); err != nil {
+			return nil, err
+		}
+		root := states[0].label
+		uniform := true
+		for _, st := range states {
+			if st.label != root {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			tree := &Tree{
+				Root:     root,
+				Parent:   make([]sim.NodeID, n),
+				Children: make([][]sim.NodeID, n),
+			}
+			for v, st := range states {
+				tree.Parent[v] = st.parent
+				tree.Children[v] = append([]sim.NodeID(nil), st.children...)
+			}
+			if err := tree.Validate(n); err != nil {
+				return nil, err
+			}
+			return tree, nil
+		}
+	}
+	return nil, fmt.Errorf("overlaytree: did not converge (disconnected UDG?)")
+}
+
+func (st *nodeState) beginPhase(phase int) {
+	st.phase = phase
+	st.extLabels = make(map[sim.NodeID]sim.NodeID)
+	st.awaitLabels = -1 // set on first step
+	st.awaitKids = make(map[sim.NodeID]bool)
+	for _, c := range st.children {
+		st.awaitKids[c] = true
+	}
+	st.bestExt = -1
+	st.hasExt = false
+	st.reported = false
+	st.proposedTo = -1
+	st.pendingProp = nil
+}
+
+// ProtoForState wraps a node state as a simulator protocol. Exposed for
+// tests that want to inspect the state machine directly.
+func ProtoForState(st *nodeState) sim.Proto {
+	return sim.ProtoFunc(func(ctx *sim.Context, round int, inbox []sim.Envelope) {
+		st.step(ctx, inbox)
+	})
+}
+
+func (st *nodeState) step(ctx *sim.Context, inbox []sim.Envelope) {
+	// Phase kickoff: query all UDG neighbours for their component labels.
+	if st.awaitLabels < 0 {
+		nbrs := ctx.Neighbors()
+		st.awaitLabels = len(nbrs)
+		for _, w := range nbrs {
+			ctx.SendAdHoc(w, labelQ{phase: st.phase})
+		}
+		st.maybeReport(ctx) // degenerate: no neighbours and no children
+	}
+
+	for _, env := range inbox {
+		switch msg := env.Msg.(type) {
+		case labelQ:
+			ctx.SendAdHoc(env.From, labelA{phase: st.phase, label: st.label})
+		case labelA:
+			st.extLabels[env.From] = msg.label
+			st.awaitLabels--
+			st.maybeReport(ctx)
+		case report:
+			delete(st.awaitKids, env.From)
+			if msg.hasExt && (!st.hasExt || msg.best < st.bestExt) {
+				st.hasExt = true
+				st.bestExt = msg.best
+			}
+			st.maybeReport(ctx)
+		case propose:
+			st.onPropose(ctx, env.From, msg)
+		case accept:
+			st.parent = env.From
+			st.setLabel(ctx, msg.label)
+		case reject:
+			// Retry next phase with refreshed labels.
+		case relabel:
+			st.setLabel(ctx, msg.label)
+		}
+	}
+}
+
+// maybeReport fires once all neighbour labels and child reports are in:
+// non-roots convergecast the subtree minimum external label to their parent;
+// roots decide whether and whom to propose a merge to.
+func (st *nodeState) maybeReport(ctx *sim.Context) {
+	if st.reported || st.awaitLabels != 0 || len(st.awaitKids) != 0 {
+		return
+	}
+	st.reported = true
+	for _, l := range st.extLabels {
+		if l != st.label && (!st.hasExt || l < st.bestExt) {
+			st.hasExt = true
+			st.bestExt = l
+		}
+	}
+	if st.isRoot() && st.hasExt {
+		st.proposedTo = st.bestExt
+		ctx.SendLong(st.bestExt, propose{label: st.label, origin: st.self})
+	} else if !st.isRoot() {
+		ctx.SendLong(st.parent, report{phase: st.phase, hasExt: st.hasExt, best: st.bestExt})
+	}
+	// Only now, with the local proposal decision fixed, can incoming
+	// proposals be answered consistently: deciding earlier would let both
+	// sides of a mutual proposal accept each other, creating a tree cycle.
+	for _, p := range st.pendingProp {
+		st.decideProposal(ctx, p)
+	}
+	st.pendingProp = nil
+}
+
+// onPropose buffers proposals until the local phase decision is made, then
+// answers them through decideProposal. Relayed proposals (origin differs
+// from the sender) were already admitted by the original target and are
+// handled immediately: they only need placement.
+func (st *nodeState) onPropose(ctx *sim.Context, from sim.NodeID, msg propose) {
+	if msg.origin != from {
+		st.graft(ctx, msg)
+		return
+	}
+	if !st.reported {
+		st.pendingProp = append(st.pendingProp, msg)
+		return
+	}
+	st.decideProposal(ctx, msg)
+}
+
+// decideProposal applies the symmetric-proposal tie-break: when two roots
+// propose to each other, the smaller ID accepts and the larger is rejected,
+// so exactly one tree edge forms. Proposal cycles of length ≥ 3 cannot occur
+// with minimum-label targeting over a consistent label snapshot.
+func (st *nodeState) decideProposal(ctx *sim.Context, msg propose) {
+	if st.proposedTo == msg.origin && st.self > msg.origin {
+		ctx.SendLong(msg.origin, reject{})
+		return
+	}
+	st.graft(ctx, msg)
+}
+
+// graft attaches the proposing root below this node, relaying into a
+// subtree (round-robin) when the local child slots are full so the tree
+// degree stays bounded by maxChildren+1.
+func (st *nodeState) graft(ctx *sim.Context, msg propose) {
+	if len(st.children) >= maxChildren {
+		child := st.children[st.relayRR%len(st.children)]
+		st.relayRR++
+		ctx.SendLong(child, propose{label: msg.label, origin: msg.origin})
+		return
+	}
+	st.children = append(st.children, msg.origin)
+	ctx.SendLong(msg.origin, accept{label: st.label})
+}
+
+func (st *nodeState) setLabel(ctx *sim.Context, label sim.NodeID) {
+	st.label = label
+	for _, c := range st.children {
+		ctx.SendLong(c, relabel{label: label})
+	}
+}

@@ -1,0 +1,55 @@
+package overlaytree_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/overlaytree"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+// Example builds the overlay tree over long-range links and floods an item
+// from one node to the whole network in O(tree height) rounds.
+func Example() {
+	rng := rand.New(rand.NewSource(7))
+	var g *udg.Graph
+	for {
+		pts := make([]geom.Point, 60)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*5, rng.Float64()*5)
+		}
+		g = udg.Build(pts, 1)
+		if g.Connected() {
+			break
+		}
+	}
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := overlaytree.Build(s)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("valid spanning tree:", tree.Validate(g.N()) == nil)
+	fmt.Println("constant degree:", tree.MaxDegree() <= 4)
+
+	got, err := overlaytree.Flood(s, tree, map[sim.NodeID][]overlaytree.Item{
+		17: {{Src: 17, Kind: 1, Payload: "hull announcement", WordCount: 5}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	everyone := true
+	for v := 0; v < g.N(); v++ {
+		if len(got[sim.NodeID(v)]) != 1 {
+			everyone = false
+		}
+	}
+	fmt.Println("flood reached everyone:", everyone)
+	// Output:
+	// valid spanning tree: true
+	// constant degree: true
+	// flood reached everyone: true
+}

@@ -1,0 +1,111 @@
+package overlaytree
+
+import (
+	"hybridroute/internal/sim"
+)
+
+// Item is a payload flooded over the overlay tree. Src+Kind identify the
+// item for deduplication; WordCount and IDs feed the simulator's
+// communication-work accounting and ID-introduction.
+type Item struct {
+	Src       sim.NodeID
+	Kind      int
+	Payload   interface{}
+	WordCount int
+	IDs       []sim.NodeID
+}
+
+func itemKey(it Item) [2]int { return [2]int{int(it.Src), it.Kind} }
+
+// itemsMsg carries a batch of items along one tree edge.
+type itemsMsg struct {
+	items []Item
+}
+
+func (m itemsMsg) Words() int {
+	w := 1
+	for _, it := range m.items {
+		w += 2 + it.WordCount
+	}
+	return w
+}
+
+func (m itemsMsg) CarriedIDs() []sim.NodeID {
+	var ids []sim.NodeID
+	for _, it := range m.items {
+		ids = append(ids, it.Src)
+		ids = append(ids, it.IDs...)
+	}
+	return ids
+}
+
+// Flood distributes items over the tree: each source injects its items,
+// every node forwards an item towards its parent and into every subtree it
+// did not arrive from, so after O(height) rounds every node holds every item
+// exactly once (Section 5.5's broadcast pattern). It installs fresh
+// protocols on all nodes and runs the simulation to quiescence, returning
+// the items collected at every node.
+func Flood(s *sim.Sim, tree *Tree, initial map[sim.NodeID][]Item) (map[sim.NodeID][]Item, error) {
+	n := s.Graph().N()
+	// Per-node slices (not a shared map) so the simulator may step nodes in
+	// parallel without data races.
+	collectedByNode := make([][]Item, n)
+	seen := make([]map[[2]int]bool, n)
+	for v := 0; v < n; v++ {
+		seen[v] = make(map[[2]int]bool)
+	}
+
+	forward := func(ctx *sim.Context, v sim.NodeID, from sim.NodeID, items []Item) {
+		// from == v means the items originate here (virtual child).
+		var fresh []Item
+		for _, it := range items {
+			k := itemKey(it)
+			if seen[v][k] {
+				continue
+			}
+			seen[v][k] = true
+			fresh = append(fresh, it)
+			collectedByNode[v] = append(collectedByNode[v], it)
+		}
+		if len(fresh) == 0 {
+			return
+		}
+		fromParent := v != tree.Root && from == tree.Parent[v] && from != v
+		if !fromParent && v != tree.Root {
+			ctx.SendLong(tree.Parent[v], itemsMsg{items: fresh})
+		}
+		for _, c := range tree.Children[v] {
+			if c != from {
+				ctx.SendLong(c, itemsMsg{items: fresh})
+			}
+		}
+	}
+
+	started := make([]bool, n)
+	for v := 0; v < n; v++ {
+		v := sim.NodeID(v)
+		s.SetProto(v, sim.ProtoFunc(func(ctx *sim.Context, round int, inbox []sim.Envelope) {
+			if !started[v] {
+				started[v] = true
+				if items := initial[v]; len(items) > 0 {
+					forward(ctx, v, v, items)
+				}
+			}
+			for _, env := range inbox {
+				if m, ok := env.Msg.(itemsMsg); ok {
+					forward(ctx, v, env.From, m.items)
+				}
+			}
+		}))
+	}
+	if _, err := s.Run(); err != nil {
+		return nil, err
+	}
+	collected := make(map[sim.NodeID][]Item, n)
+	for v, items := range collectedByNode {
+		if len(items) > 0 {
+			collected[sim.NodeID(v)] = items
+		}
+	}
+	return collected, nil
+}

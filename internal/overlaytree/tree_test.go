@@ -1,0 +1,253 @@
+package overlaytree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+)
+
+func randomConnectedUDG(t testing.TB, seed int64, n int, area float64) *udg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 50; attempt++ {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*area, rng.Float64()*area)
+		}
+		g := udg.Build(pts, 1)
+		if g.Connected() {
+			return g
+		}
+	}
+	t.Fatalf("could not generate a connected UDG with n=%d area=%.1f", n, area)
+	return nil
+}
+
+func TestBuildSpanningTree(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 40, 150} {
+		area := math.Sqrt(float64(n)) * 0.7
+		if area < 1 {
+			area = 1
+		}
+		g := randomConnectedUDG(t, int64(n), n, area)
+		s := sim.New(g, sim.Config{Strict: true})
+		tree, err := Build(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := tree.Validate(g.N()); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildLineGraphSortedIDs(t *testing.T) {
+	// A path UDG with IDs sorted along the line is the adversarial layout
+	// for chain contraction (every component proposes leftwards, forming one
+	// long chain in a single phase). This is the known divergence from the
+	// Gmyr et al. height guarantee documented in DESIGN.md: the tree must
+	// still be a valid spanning tree, just possibly deep.
+	const n = 256
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i)*0.9, 0)
+	}
+	g := udg.Build(pts, 1)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sorted path n=%d: %d rounds, height %d, max degree %d", n, s.Rounds(), tree.Height(), tree.MaxDegree())
+}
+
+func TestBuildLineGraphShuffledIDs(t *testing.T) {
+	// With IDs placed randomly along the path, proposal chains have
+	// logarithmic expected length, so construction stays well below Θ(n)
+	// rounds even though the UDG diameter is n-1.
+	const n = 256
+	rng := rand.New(rand.NewSource(123))
+	perm := rng.Perm(n)
+	pts := make([]geom.Point, n)
+	for pos, id := range perm {
+		pts[id] = geom.Pt(float64(pos)*0.9, 0)
+	}
+	g := udg.Build(pts, 1)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() >= n {
+		t.Errorf("overlay construction took %d rounds on a shuffled path of %d nodes; want o(n)", s.Rounds(), n)
+	}
+	t.Logf("shuffled path n=%d: %d rounds, height %d, max degree %d", n, s.Rounds(), tree.Height(), tree.MaxDegree())
+}
+
+func TestBuildRoundsPolylog(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		g := randomConnectedUDG(t, int64(n)*7, n, math.Sqrt(float64(n))*0.55)
+		s := sim.New(g, sim.Config{Strict: true})
+		tree, err := Build(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		logn := math.Log2(float64(n))
+		budget := int(12*logn*logn + 60)
+		if s.Rounds() > budget {
+			t.Errorf("n=%d: %d rounds exceeds polylog budget %d", n, s.Rounds(), budget)
+		}
+		t.Logf("n=%d: rounds=%d height=%d deg=%d", n, s.Rounds(), tree.Height(), tree.MaxDegree())
+	}
+}
+
+func TestBuildRootIsMinimumID(t *testing.T) {
+	g := randomConnectedUDG(t, 99, 60, 5)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 0 {
+		t.Errorf("root = %d; minimum-label merging should crown node 0", tree.Root)
+	}
+}
+
+func TestTreeHeightReasonable(t *testing.T) {
+	g := randomConnectedUDG(t, 3, 400, 11)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Substituted protocol: height is typically O(log n); allow generous slack.
+	if h := tree.Height(); h > 64 {
+		t.Errorf("tree height %d suspiciously large for n=400", h)
+	}
+}
+
+func TestFloodReachesEveryone(t *testing.T) {
+	g := randomConnectedUDG(t, 5, 120, 7)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetCounters()
+	initial := map[sim.NodeID][]Item{
+		3:  {{Src: 3, Kind: 1, Payload: "hull-3", WordCount: 4}},
+		77: {{Src: 77, Kind: 1, Payload: "hull-77", WordCount: 4}},
+		0:  {{Src: 0, Kind: 2, Payload: "meta", WordCount: 1}},
+	}
+	got, err := Flood(s, tree, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		items := got[sim.NodeID(v)]
+		if len(items) != 3 {
+			t.Fatalf("node %d collected %d items, want 3", v, len(items))
+		}
+	}
+	// Flooding must finish in O(tree diameter) rounds.
+	if s.Rounds() > 4*tree.Height()+6 {
+		t.Errorf("flood took %d rounds for height %d", s.Rounds(), tree.Height())
+	}
+}
+
+func TestFloodNoDuplicates(t *testing.T) {
+	g := randomConnectedUDG(t, 8, 60, 5)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := map[sim.NodeID][]Item{
+		10: {{Src: 10, Kind: 1}},
+	}
+	got, err := Flood(s, tree, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, items := range got {
+		if len(items) != 1 {
+			t.Fatalf("node %d received item %d times", v, len(items))
+		}
+	}
+}
+
+func TestFloodEmptyInitial(t *testing.T) {
+	g := randomConnectedUDG(t, 9, 20, 3)
+	s := sim.New(g, sim.Config{Strict: true})
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Flood(s, tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, items := range got {
+		if len(items) != 0 {
+			t.Fatalf("node %d has %d items from empty flood", v, len(items))
+		}
+	}
+}
+
+func TestBuildEmptyGraphErrors(t *testing.T) {
+	g := udg.Build(nil, 1)
+	s := sim.New(g, sim.Config{})
+	if _, err := Build(s); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+}
+
+func TestItemsMsgAccounting(t *testing.T) {
+	m := itemsMsg{items: []Item{
+		{Src: 1, Kind: 0, WordCount: 5, IDs: []sim.NodeID{7, 8}},
+		{Src: 2, Kind: 0, WordCount: 3},
+	}}
+	if got := m.Words(); got != 1+(2+5)+(2+3) {
+		t.Errorf("Words = %d", got)
+	}
+	ids := m.CarriedIDs()
+	if len(ids) != 4 {
+		t.Errorf("CarriedIDs = %v", ids)
+	}
+}
+
+func BenchmarkBuild512(b *testing.B) {
+	g := randomConnectedUDG(b, 1, 512, math.Sqrt(512)*0.55)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(g, sim.Config{Strict: true})
+		if _, err := Build(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBuildConstantDegree(t *testing.T) {
+	// Theorem 1.2 needs O(1) storage at plain nodes, which requires the
+	// overlay tree to have bounded degree (relayed grafts enforce the cap).
+	for _, n := range []int{100, 400, 900} {
+		g := randomConnectedUDG(t, int64(n)+5, n, math.Sqrt(float64(n))*0.55)
+		s := sim.New(g, sim.Config{Strict: true})
+		tree, err := Build(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := tree.MaxDegree(); d > maxChildren+1 {
+			t.Errorf("n=%d: tree degree %d exceeds cap %d", n, d, maxChildren+1)
+		}
+	}
+}

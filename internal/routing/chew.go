@@ -1,0 +1,292 @@
+package routing
+
+import (
+	"hybridroute/internal/geom"
+)
+
+// Chew routes from s to t along the faces of the triangulation intersected
+// by the segment st, the strategy of Theorem 2.10/2.11: on Delaunay-type
+// triangulations the walk is 5.9-competitive. When the segment crosses a
+// non-triangle face (a radio hole, Definition 2.4/2.5, or the outer face),
+// the walk stops at a boundary node of that face and reports HoleHit — this
+// is exactly how the routing protocol of Section 3/4.3 discovers that the
+// target is not visible and switches to hull-node waypoint routing.
+func (r *Router) Chew(s, t NodeID) Result {
+	if s == t {
+		return Result{Path: []NodeID{s}, Reached: true}
+	}
+	if r.g.HasEdge(s, t) {
+		return Result{Path: []NodeID{s, t}, Reached: true}
+	}
+	ps, pt := r.g.Point(s), r.g.Point(t)
+	L := geom.Seg(ps, pt)
+
+	corridor := r.corridor(L)
+	if len(corridor) == 0 {
+		// Degenerate: no face registered as crossed (collinear grazing).
+		return r.fallback(s, t)
+	}
+
+	// Split the corridor at the first non-triangle face.
+	prefix := corridor
+	holeFace := -1
+	for i, f := range corridor {
+		if !r.IsTriangleFace(f) {
+			prefix = corridor[:i]
+			holeFace = f
+			break
+		}
+	}
+
+	left, right := r.corridorChains(L, s, t, prefix, holeFace)
+
+	if holeFace >= 0 {
+		// Stop at the boundary of the blocking face: the last chain vertex
+		// lying on that face.
+		res := r.holeHitResult(s, left, right, holeFace)
+		return res
+	}
+
+	lv := r.validChain(left)
+	rv := r.validChain(right)
+	switch {
+	case lv && rv:
+		if chainLength(r, left) <= chainLength(r, right) {
+			return Result{Path: left, Reached: true}
+		}
+		return Result{Path: right, Reached: true}
+	case lv:
+		return Result{Path: left, Reached: true}
+	case rv:
+		return Result{Path: right, Reached: true}
+	default:
+		return r.fallback(s, t)
+	}
+}
+
+// ChewVia routes along a waypoint sequence (s = w0, w1, …, wk = t), applying
+// Chew's algorithm between consecutive waypoints (Sections 3 and 4.3). Legs
+// are expected to be visible pairs; a leg that hits a hole anyway falls back
+// to the graph shortest path for that leg, flagged in the result.
+func (r *Router) ChewVia(waypoints []NodeID) Result {
+	if len(waypoints) == 0 {
+		return Result{}
+	}
+	out := Result{Path: []NodeID{waypoints[0]}, Reached: true}
+	for i := 1; i < len(waypoints); i++ {
+		leg := r.Chew(waypoints[i-1], waypoints[i])
+		if !leg.Reached {
+			leg = r.fallback(waypoints[i-1], waypoints[i])
+			if !leg.Reached {
+				out.Reached = false
+				return out
+			}
+			out.Fallback = true
+		}
+		if leg.Fallback {
+			out.Fallback = true
+		}
+		out.Path = append(out.Path, leg.Path[1:]...)
+	}
+	return out
+}
+
+// corridor returns the indices of all faces whose interior the segment
+// passes through, ordered by entry parameter along the segment.
+func (r *Router) corridor(L geom.Segment) []int {
+	entries := make(map[int]float64)
+	dir := L.B.Sub(L.A)
+	len2 := dir.Dot(dir)
+	paramOf := func(p geom.Point) float64 {
+		return p.Sub(L.A).Dot(dir) / len2
+	}
+	for fi := range r.faces {
+		if fi == r.outer {
+			// Segments between nodes stay inside CH(V) and cannot pass
+			// through the outer face of the hull-augmented embedding.
+			continue
+		}
+		poly := r.polys[fi]
+		n := len(poly)
+		var params []float64
+		for j := 0; j < n; j++ {
+			e := geom.Seg(poly[j], poly[(j+1)%n])
+			if geom.SegmentsProperlyIntersect(L, e) {
+				if x, ok := geom.SegmentIntersection(L, e); ok {
+					params = append(params, clamp01(paramOf(x)))
+				}
+			}
+			if geom.OnSegment(poly[j], L) {
+				params = append(params, clamp01(paramOf(poly[j])))
+			}
+		}
+		if len(params) < 2 {
+			continue
+		}
+		sortFloats(params)
+		for j := 0; j+1 < len(params); j++ {
+			if params[j+1]-params[j] < 1e-12 {
+				continue
+			}
+			mid := geom.Lerp(L.A, L.B, (params[j]+params[j+1])/2)
+			if geom.PointStrictlyInSimple(mid, poly) {
+				if _, ok := entries[fi]; !ok {
+					entries[fi] = params[j]
+				}
+				break
+			}
+		}
+	}
+	return sortFacesByEntry(entries)
+}
+
+// corridorChains builds the left and right boundary chains of the triangle
+// corridor. Each chain starts at s; when the corridor is complete (no
+// blocking face) it ends at t.
+func (r *Router) corridorChains(L geom.Segment, s, t NodeID, prefix []int, holeFace int) (left, right []NodeID) {
+	dir := L.B.Sub(L.A)
+	len2 := dir.Dot(dir)
+	paramOf := func(p geom.Point) float64 { return p.Sub(L.A).Dot(dir) / len2 }
+
+	left = []NodeID{s}
+	right = []NodeID{s}
+	appendSide := func(chain []NodeID, v NodeID) []NodeID {
+		for _, u := range chain {
+			if u == v {
+				return chain
+			}
+		}
+		return append(chain, v)
+	}
+	for _, fi := range prefix {
+		f := r.faces[fi]
+		// Order the face's vertices by their projection along the segment so
+		// chains grow front to back.
+		verts := append([]NodeID(nil), f.Cycle...)
+		sortByParam(verts, func(v NodeID) float64 { return paramOf(r.g.Point(v)) })
+		for _, v := range verts {
+			if v == s || v == t {
+				continue
+			}
+			switch geom.Orient(L.A, L.B, r.g.Point(v)) {
+			case geom.CounterClockwise:
+				left = appendSide(left, v)
+			case geom.Clockwise:
+				right = appendSide(right, v)
+			default:
+				// A vertex exactly on the segment belongs to both chains.
+				left = appendSide(left, v)
+				right = appendSide(right, v)
+			}
+		}
+	}
+	if holeFace < 0 {
+		left = append(left, t)
+		right = append(right, t)
+	}
+	return left, right
+}
+
+// holeHitResult routes to a boundary node of the blocking face along
+// whichever chain reaches one, preferring the shorter.
+func (r *Router) holeHitResult(s NodeID, left, right []NodeID, holeFace int) Result {
+	onFace := map[NodeID]bool{}
+	for _, v := range r.faces[holeFace].Cycle {
+		onFace[v] = true
+	}
+	trim := func(chain []NodeID) []NodeID {
+		// Truncate the chain at its first vertex on the blocking face.
+		for i, v := range chain {
+			if onFace[v] {
+				return chain[:i+1]
+			}
+		}
+		return nil
+	}
+	cands := [][]NodeID{}
+	if c := trim(left); c != nil && r.validChain(c) {
+		cands = append(cands, c)
+	}
+	if c := trim(right); c != nil && r.validChain(c) {
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		// s itself may already be on the face.
+		if onFace[s] {
+			return Result{Path: []NodeID{s}, HoleHit: true, HitNode: s, HoleFace: holeFace}
+		}
+		// Degenerate configuration: walk via graph shortest path to the
+		// nearest face vertex.
+		best := Result{}
+		bestLen := -1.0
+		for _, v := range r.faces[holeFace].Cycle {
+			if path, l, ok := r.g.ShortestPath(s, v); ok && (bestLen < 0 || l < bestLen) {
+				best = Result{Path: path, HoleHit: true, HitNode: v, HoleFace: holeFace, Fallback: true}
+				bestLen = l
+			}
+		}
+		return best
+	}
+	pick := cands[0]
+	if len(cands) == 2 && chainLength(r, cands[1]) < chainLength(r, cands[0]) {
+		pick = cands[1]
+	}
+	return Result{Path: pick, HoleHit: true, HitNode: pick[len(pick)-1], HoleFace: holeFace}
+}
+
+// validChain reports whether consecutive chain nodes are graph edges.
+func (r *Router) validChain(chain []NodeID) bool {
+	if len(chain) == 0 {
+		return false
+	}
+	for i := 1; i < len(chain); i++ {
+		if !r.g.HasEdge(chain[i-1], chain[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func chainLength(r *Router, chain []NodeID) float64 {
+	total := 0.0
+	for i := 1; i < len(chain); i++ {
+		total += r.g.Point(chain[i-1]).Dist(r.g.Point(chain[i]))
+	}
+	return total
+}
+
+// fallback routes via the graph shortest path, flagged as a fallback; it is
+// only used for degenerate geometry the corridor walk cannot classify.
+func (r *Router) fallback(s, t NodeID) Result {
+	path, _, ok := r.g.ShortestPath(s, t)
+	if !ok {
+		return Result{Path: []NodeID{s}, Stuck: true, Fallback: true}
+	}
+	return Result{Path: path, Reached: true, Fallback: true}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortByParam(vs []NodeID, key func(NodeID) float64) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && key(vs[j]) < key(vs[j-1]); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

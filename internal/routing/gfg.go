@@ -1,0 +1,131 @@
+package routing
+
+import (
+	"math"
+
+	"hybridroute/internal/geom"
+)
+
+// GreedyFace is the classic guaranteed-delivery baseline on planar graphs
+// (GFG/GPSR perimeter routing, in the same family as the GOAFR strategy of
+// Kuhn et al. the paper cites): greedy forwarding until a local minimum,
+// then face traversal with the right-hand rule until a node closer to the
+// target than the local minimum is found, switching faces where the
+// boundary crosses the anchor–target segment.
+func (r *Router) GreedyFace(s, t NodeID) Result {
+	res := Result{Path: []NodeID{s}}
+	cur := s
+	pt := r.g.Point(t)
+
+	hops := 0
+	for hops < r.maxHops {
+		// Greedy phase.
+		for hops < r.maxHops {
+			if cur == t {
+				res.Reached = true
+				return res
+			}
+			best := cur
+			bestD := r.g.Point(cur).Dist(pt)
+			for _, w := range r.g.Neighbors(cur) {
+				if d := r.g.Point(w).Dist(pt); d < bestD {
+					best, bestD = w, d
+				}
+			}
+			if best == cur {
+				break // local minimum: recover via face traversal
+			}
+			cur = best
+			res.Path = append(res.Path, cur)
+			hops++
+		}
+		if cur == t {
+			res.Reached = true
+			return res
+		}
+
+		// Face phase.
+		anchor := cur
+		anchorD := r.g.Point(anchor).Dist(pt)
+		L := geom.Seg(r.g.Point(anchor), pt)
+
+		a := cur
+		b := r.firstFaceEdge(cur, pt)
+		if b < 0 {
+			res.Stuck = true
+			return res
+		}
+		bestCross := math.Inf(1)
+		progressed := false
+		for hops < r.maxHops {
+			// Traverse edge (a, b).
+			cur = b
+			res.Path = append(res.Path, cur)
+			hops++
+			if cur == t {
+				res.Reached = true
+				return res
+			}
+			if r.g.Point(cur).Dist(pt) < anchorD {
+				progressed = true
+				break // resume greedy from a strictly closer node
+			}
+			// Face switch: if the traversed edge crosses the anchor–target
+			// segment closer to t than any previous crossing, continue on
+			// the face on the other side of the edge.
+			e := geom.Seg(r.g.Point(a), r.g.Point(b))
+			if geom.SegmentsProperlyIntersect(L, e) {
+				if x, ok := geom.SegmentIntersection(L, e); ok {
+					if d := x.Dist(pt); d < bestCross-1e-12 {
+						bestCross = d
+						a, b = b, a // cross to the other side
+					}
+				}
+			}
+			a, b = b, r.nextFaceVertex(a, b)
+		}
+		if !progressed {
+			res.Stuck = true
+			return res
+		}
+	}
+	res.Stuck = true
+	return res
+}
+
+// firstFaceEdge picks the first neighbour for the right-hand-rule traversal:
+// the neighbour reached by rotating clockwise from the target direction.
+func (r *Router) firstFaceEdge(u NodeID, target geom.Point) NodeID {
+	pu := r.g.Point(u)
+	dir := target.Sub(pu).Angle()
+	best := NodeID(-1)
+	bestTurn := math.Inf(1)
+	for _, w := range r.g.Neighbors(u) {
+		a := r.g.Point(w).Sub(pu).Angle()
+		turn := dir - a // clockwise turn from dir to the neighbour
+		for turn < 0 {
+			turn += 2 * math.Pi
+		}
+		for turn >= 2*math.Pi {
+			turn -= 2 * math.Pi
+		}
+		if turn < bestTurn {
+			best, bestTurn = w, turn
+		}
+	}
+	return best
+}
+
+// nextFaceVertex continues the face traversal: having walked the directed
+// edge (a, b), the next vertex is the successor of the edge in the face on
+// its left, i.e. the neighbour of b immediately preceding a in b's
+// counterclockwise rotation.
+func (r *Router) nextFaceVertex(a, b NodeID) NodeID {
+	nbrs := r.g.Neighbors(b)
+	for i, w := range nbrs {
+		if w == a {
+			return nbrs[(i-1+len(nbrs))%len(nbrs)]
+		}
+	}
+	return a // should not happen on a consistent rotation system
+}

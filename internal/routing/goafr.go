@@ -1,0 +1,160 @@
+package routing
+
+import (
+	"math"
+
+	"hybridroute/internal/geom"
+)
+
+// GOAFR implements (a faithful simplification of) the GOAFR⁺ strategy of
+// Kuhn, Wattenhofer and Zollinger — the worst-case-optimal online
+// geometric routing algorithm the paper cites as the best possible without
+// global hole knowledge. Greedy forwarding runs inside an ellipse with foci
+// at source and target; at a local minimum the current face is traversed
+// with the right-hand rule, bouncing off the ellipse boundary (reversing
+// direction on first contact); if the face traversal returns to the local
+// minimum without progress, the ellipse is doubled and the traversal
+// retried. Delivery is guaranteed on connected planar graphs; path length
+// is quadratically competitive in the worst case — the bound the paper's
+// abstraction beats.
+func (r *Router) GOAFR(s, t NodeID) Result {
+	res := Result{Path: []NodeID{s}}
+	if s == t {
+		res.Reached = true
+		return res
+	}
+	pt := r.g.Point(t)
+	// Initial ellipse: major axis 1.4·|st| (the GOAFR⁺ recommendation).
+	major := 1.4 * r.g.Point(s).Dist(pt)
+	inEllipse := func(p geom.Point) bool {
+		return p.Dist(r.g.Point(s))+p.Dist(pt) <= major
+	}
+
+	cur := s
+	hops := 0
+	for hops < r.maxHops {
+		// Greedy phase, restricted to the ellipse.
+		progressed := true
+		for progressed && hops < r.maxHops {
+			if cur == t {
+				res.Reached = true
+				return res
+			}
+			progressed = false
+			best := cur
+			bestD := r.g.Point(cur).Dist(pt)
+			for _, w := range r.g.Neighbors(cur) {
+				if !inEllipse(r.g.Point(w)) {
+					continue
+				}
+				if d := r.g.Point(w).Dist(pt); d < bestD {
+					best, bestD = w, d
+				}
+			}
+			if best != cur {
+				cur = best
+				res.Path = append(res.Path, cur)
+				hops++
+				progressed = true
+			}
+		}
+		if cur == t {
+			res.Reached = true
+			return res
+		}
+
+		// Face phase with ellipse bouncing.
+		anchor := cur
+		anchorD := r.g.Point(anchor).Dist(pt)
+		L := geom.Seg(r.g.Point(anchor), pt)
+		a := cur
+		b := r.firstFaceEdge(cur, pt)
+		if b < 0 {
+			res.Stuck = true
+			return res
+		}
+		reversals := 0
+		bestCross := math.Inf(1)
+		closer := false
+		for hops < r.maxHops {
+			if !inEllipse(r.g.Point(b)) {
+				// Bounce off the ellipse: reverse traversal direction once;
+				// on the second contact enlarge the ellipse and restart.
+				reversals++
+				if reversals >= 2 {
+					major *= 2
+					reversals = 0
+					// The message is physically at cur: retrace the face walk
+					// back to the anchor (these hops count) and restart.
+					n := len(res.Path)
+					last := -1
+					for i := n - 1; i >= 0; i-- {
+						if res.Path[i] == anchor {
+							last = i
+							break
+						}
+					}
+					if last >= 0 {
+						for i := n - 2; i >= last; i-- {
+							res.Path = append(res.Path, res.Path[i])
+							hops++
+						}
+					}
+					cur = anchor
+					a = anchor
+					b = r.firstFaceEdge(anchor, pt)
+					continue
+				}
+				// Reverse: continue the face in the opposite rotation.
+				a, b = b, a
+				b = r.nextFaceVertexCW(a, b)
+				if b < 0 {
+					res.Stuck = true
+					return res
+				}
+				continue
+			}
+			cur = b
+			res.Path = append(res.Path, cur)
+			hops++
+			if cur == t {
+				res.Reached = true
+				return res
+			}
+			if r.g.Point(cur).Dist(pt) < anchorD {
+				closer = true
+				break
+			}
+			e := geom.Seg(r.g.Point(a), r.g.Point(b))
+			if geom.SegmentsProperlyIntersect(L, e) {
+				if x, ok := geom.SegmentIntersection(L, e); ok {
+					if d := x.Dist(pt); d < bestCross-1e-12 {
+						bestCross = d
+						a, b = b, a // switch to the face across the edge
+					}
+				}
+			}
+			a, b = b, r.nextFaceVertex(a, b)
+		}
+		if !closer && hops >= r.maxHops {
+			res.Stuck = true
+			return res
+		}
+	}
+	res.Stuck = true
+	return res
+}
+
+// nextFaceVertexCW is the mirror of nextFaceVertex: having walked the
+// directed edge (a, b), continue along the face on its right (clockwise
+// traversal), i.e. the neighbour of b immediately after a in b's
+// counterclockwise rotation.
+func (r *Router) nextFaceVertexCW(a, b NodeID) NodeID {
+	nbrs := r.g.Neighbors(b)
+	for i, w := range nbrs {
+		if w == a {
+			return nbrs[(i+1)%len(nbrs)]
+		}
+	}
+	return -1
+}

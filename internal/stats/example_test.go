@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"hybridroute/internal/stats"
+)
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{1.0, 1.1, 1.3, 2.0, 4.5})
+	fmt.Printf("n=%d mean=%.2f p50=%.2f max=%.1f\n", s.N, s.Mean, s.P50, s.Max)
+	// Output: n=5 mean=1.98 p50=1.30 max=4.5
+}
+
+func ExampleTable_CSV() {
+	t := stats.NewTable("method", "stretch")
+	t.AddRow("greedy", 0.0)
+	t.AddRow("hull-router", 1.46)
+	fmt.Print(t.CSV())
+	// Output:
+	// method,stretch
+	// greedy,0.000
+	// hull-router,1.460
+}

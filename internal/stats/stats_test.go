@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 1) != 40 {
+		t.Error("extremes")
+	}
+	if got := Percentile(xs, 0.5); got != 25 {
+		t.Errorf("median of even sample = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty")
+	}
+}
+
+func TestPercentileMonotonicQuick(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		pa := math.Mod(math.Abs(a), 1)
+		pb := math.Mod(math.Abs(b), 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := Summarize(xs)
+	if s.Mean < s.Min || s.Mean > s.Max {
+		t.Error("mean out of range")
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Error("percentiles not ordered")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value", "ratio")
+	tb.AddRow("alpha", 42, 1.5)
+	tb.AddRow("beta-long-name", 7, 0.25)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "ratio") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	// Column alignment: all rows same visible width.
+	w := len(lines[1])
+	for _, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("row wider than separator: %q", l)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", `quote"inside`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) || !strings.Contains(lines[2], `"quote""inside"`) {
+		t.Errorf("quoting wrong: %q", lines[2])
+	}
+}

@@ -1,0 +1,37 @@
+package udg_test
+
+import (
+	"fmt"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+func ExampleBuild() {
+	// A chain of nodes 0.8 apart with radio range 1: each node reaches only
+	// its immediate neighbours.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.8, 0), geom.Pt(1.6, 0), geom.Pt(2.4, 0),
+	}
+	g := udg.Build(pts, 1)
+	fmt.Println("connected:", g.Connected())
+	fmt.Println("degree of an interior node:", g.Degree(1))
+
+	path, dist, ok := g.ShortestPath(0, 3)
+	fmt.Printf("path hops: %d, length: %.1f, ok: %v\n", len(path)-1, dist, ok)
+	// Output:
+	// connected: true
+	// degree of an interior node: 2
+	// path hops: 3, length: 2.4, ok: true
+}
+
+func ExampleGraph_KHopNeighborhood() {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.9, 0), geom.Pt(1.8, 0), geom.Pt(2.7, 0),
+	}
+	g := udg.Build(pts, 1)
+	// 2-hop ball of the left endpoint: nodes 1 and 2, not 3 — exactly the
+	// knowledge a node gathers for the k=2 localized Delaunay test.
+	fmt.Println(g.KHopNeighborhood(0, 2))
+	// Output: [1 2]
+}

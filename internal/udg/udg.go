@@ -1,0 +1,301 @@
+// Package udg builds and queries Unit Disk Graphs (Definition 1.1 of the
+// paper): the bi-directed graph over a planar point set V containing an edge
+// (u, v) whenever ‖uv‖ ≤ r for the communication radius r. The package
+// provides a grid-bucketed spatial index so construction is near-linear for
+// bounded-density inputs, plus connectivity queries and the Euclidean
+// shortest-path oracle used as the competitiveness ground truth d(s, t).
+package udg
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hybridroute/internal/geom"
+)
+
+// NodeID indexes a node in the point set. IDs are dense: 0..n-1.
+type NodeID int
+
+// Graph is a unit disk graph over a fixed point set.
+type Graph struct {
+	pts    []geom.Point
+	radius float64
+	adj    [][]NodeID
+}
+
+// Build constructs the unit disk graph of pts with communication radius r.
+// It panics if r is not positive; an empty point set yields an empty graph.
+func Build(pts []geom.Point, r float64) *Graph {
+	if r <= 0 {
+		panic(fmt.Sprintf("udg: non-positive radius %v", r))
+	}
+	g := &Graph{
+		pts:    append([]geom.Point(nil), pts...),
+		radius: r,
+		adj:    make([][]NodeID, len(pts)),
+	}
+	idx := newGridIndex(pts, r)
+	r2 := r * r
+	for i, p := range pts {
+		idx.forNeighbors(p, func(j int) {
+			if j == i {
+				return
+			}
+			if p.Dist2(pts[j]) <= r2 {
+				g.adj[i] = append(g.adj[i], NodeID(j))
+			}
+		})
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.pts) }
+
+// Radius returns the communication radius used to build the graph.
+func (g *Graph) Radius() float64 { return g.radius }
+
+// Point returns the coordinates of node v.
+func (g *Graph) Point(v NodeID) geom.Point { return g.pts[v] }
+
+// Points returns the backing point slice; callers must not modify it.
+func (g *Graph) Points() []geom.Point { return g.pts }
+
+// Neighbors returns the adjacency list of v; callers must not modify it.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// Degree returns the number of UDG neighbours of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree Δ of the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether (u, v) is an edge, i.e. ‖uv‖ ≤ r and u ≠ v.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	return g.pts[u].Dist2(g.pts[v]) <= g.radius*g.radius
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	return len(g.Component(0)) == g.N()
+}
+
+// Component returns the set of nodes reachable from start via BFS, in
+// visitation order.
+func (g *Graph) Component(start NodeID) []NodeID {
+	seen := make([]bool, g.N())
+	queue := []NodeID{start}
+	seen[start] = true
+	var order []NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// LargestComponent returns the node set of the largest connected component.
+func (g *Graph) LargestComponent() []NodeID {
+	seen := make([]bool, g.N())
+	var best []NodeID
+	for v := 0; v < g.N(); v++ {
+		if seen[v] {
+			continue
+		}
+		comp := g.Component(NodeID(v))
+		for _, u := range comp {
+			seen[u] = true
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+// HopDistances returns the BFS hop distance from start to every node;
+// unreachable nodes get -1.
+func (g *Graph) HopDistances(start NodeID) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// KHopNeighborhood returns all nodes within k hops of v (excluding v),
+// ordered by discovery. This is the N_k(v) set the distributed LDel^k
+// construction gathers in k rounds.
+func (g *Graph) KHopNeighborhood(v NodeID, k int) []NodeID {
+	seen := make(map[NodeID]bool, 16)
+	seen[v] = true
+	frontier := []NodeID{v}
+	var out []NodeID
+	for hop := 0; hop < k; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, w := range g.adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+					out = append(out, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// ShortestPath returns the Euclidean-weight shortest path from s to t in the
+// graph, as a node sequence including both endpoints, plus its length. The
+// boolean is false when t is unreachable. This is the ground-truth d(s, t)
+// used to measure c-competitiveness.
+func (g *Graph) ShortestPath(s, t NodeID) ([]NodeID, float64, bool) {
+	dist, prev := g.dijkstra(s, t)
+	if math.IsInf(dist[t], 1) {
+		return nil, 0, false
+	}
+	var path []NodeID
+	for v := t; ; v = prev[v] {
+		path = append(path, v)
+		if v == s {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[t], true
+}
+
+// ShortestDistances returns Euclidean-weight shortest-path distances from s
+// to all nodes (+Inf for unreachable).
+func (g *Graph) ShortestDistances(s NodeID) []float64 {
+	dist, _ := g.dijkstra(s, -1)
+	return dist
+}
+
+func (g *Graph) dijkstra(s, target NodeID) ([]float64, []NodeID) {
+	n := g.N()
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	pq := &nodeHeap{{s, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeDist)
+		if item.d > dist[item.v] {
+			continue
+		}
+		if item.v == target {
+			break
+		}
+		pv := g.pts[item.v]
+		for _, w := range g.adj[item.v] {
+			nd := item.d + pv.Dist(g.pts[w])
+			if nd < dist[w] {
+				dist[w] = nd
+				prev[w] = item.v
+				heap.Push(pq, nodeDist{w, nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+type nodeDist struct {
+	v NodeID
+	d float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// gridIndex buckets points into cells of side r so that all unit-disk
+// neighbours of a point lie in its 3x3 cell neighbourhood.
+type gridIndex struct {
+	cell  float64
+	cells map[[2]int][]int
+}
+
+func newGridIndex(pts []geom.Point, r float64) *gridIndex {
+	idx := &gridIndex{cell: r, cells: make(map[[2]int][]int, len(pts))}
+	for i, p := range pts {
+		k := idx.key(p)
+		idx.cells[k] = append(idx.cells[k], i)
+	}
+	return idx
+}
+
+func (idx *gridIndex) key(p geom.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / idx.cell)), int(math.Floor(p.Y / idx.cell))}
+}
+
+func (idx *gridIndex) forNeighbors(p geom.Point, fn func(j int)) {
+	k := idx.key(p)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, j := range idx.cells[[2]int{k[0] + dx, k[1] + dy}] {
+				fn(j)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package vis_test
+
+import (
+	"fmt"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/vis"
+)
+
+func ExampleDomain_ShortestPath() {
+	// One square obstacle between source and target.
+	square := []geom.Point{geom.Pt(4, 4), geom.Pt(6, 4), geom.Pt(6, 6), geom.Pt(4, 6)}
+	d := vis.NewDomain([][]geom.Point{square})
+	path, dist, ok := d.ShortestPath(geom.Pt(0, 5), geom.Pt(10, 5))
+	fmt.Println("found:", ok)
+	fmt.Println("waypoints:", len(path))
+	fmt.Printf("length: %.2f (straight line would be 10 but is blocked)\n", dist)
+	// Output:
+	// found: true
+	// waypoints: 4
+	// length: 10.25 (straight line would be 10 but is blocked)
+}
+
+func ExampleOverlay() {
+	// The Overlay Delaunay Graph keeps O(h) edges versus Θ(h²) for the full
+	// visibility graph — the space reduction of Section 4.1.
+	var hulls [][]geom.Point
+	for i := 0; i < 4; i++ {
+		x := float64(i) * 5
+		hulls = append(hulls, []geom.Point{
+			geom.Pt(x, 0), geom.Pt(x+2, 0), geom.Pt(x+2, 2), geom.Pt(x, 2),
+		})
+	}
+	o := vis.NewOverlay(hulls)
+	d := vis.NewDomain(hulls)
+	fmt.Println("overlay edges fewer than visibility edges:", o.EdgeCount() < d.CornerEdges())
+	// Output: overlay edges fewer than visibility edges: true
+}

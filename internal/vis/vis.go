@@ -1,0 +1,311 @@
+// Package vis implements shortest paths in polygonal domains, the
+// computational-geometry machinery behind both routing strategies of the
+// paper: the Visibility Graph of all hole nodes (Section 3, giving
+// 17.7-competitive paths) and the Overlay Delaunay Graph of convex hull
+// nodes (Section 4, giving ≤ 35.37-competitive paths with much smaller
+// storage). Lemma 2.12 (de Berg et al.) justifies both: any shortest path
+// among disjoint polygonal obstacles is a polygonal path whose inner
+// vertices are obstacle vertices.
+package vis
+
+import (
+	"container/heap"
+	"math"
+
+	"hybridroute/internal/delaunay"
+	"hybridroute/internal/geom"
+)
+
+// Domain is a set of disjoint polygonal obstacles supporting visibility
+// queries and shortest paths whose interior vertices are obstacle corners.
+type Domain struct {
+	obstacles [][]geom.Point
+	corners   []geom.Point
+	// cornerAdj[i] lists the visible corners j > i is not required; full
+	// symmetric adjacency with weights.
+	cornerAdj [][]int
+}
+
+// NewDomain builds the visibility structure over the given obstacle
+// polygons (each a vertex cycle, any orientation).
+func NewDomain(obstacles [][]geom.Point) *Domain {
+	d := &Domain{obstacles: obstacles}
+	for _, poly := range obstacles {
+		d.corners = append(d.corners, poly...)
+	}
+	n := len(d.corners)
+	d.cornerAdj = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d.Visible(d.corners[i], d.corners[j]) {
+				d.cornerAdj[i] = append(d.cornerAdj[i], j)
+				d.cornerAdj[j] = append(d.cornerAdj[j], i)
+			}
+		}
+	}
+	return d
+}
+
+// Obstacles returns the obstacle polygons; callers must not modify them.
+func (d *Domain) Obstacles() [][]geom.Point { return d.obstacles }
+
+// Corners returns all obstacle corners; callers must not modify the slice.
+func (d *Domain) Corners() []geom.Point { return d.corners }
+
+// CornerEdges returns the number of undirected visibility edges between
+// corners — the Θ(h²) storage cost the paper attributes to full visibility
+// graphs.
+func (d *Domain) CornerEdges() int {
+	total := 0
+	for _, a := range d.cornerAdj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Visible reports whether the open segment ab avoids every obstacle
+// interior: the segment may touch boundaries and run along obstacle edges,
+// but may not properly cross an edge or pass through an interior.
+func (d *Domain) Visible(a, b geom.Point) bool {
+	s := geom.Seg(a, b)
+	for _, poly := range d.obstacles {
+		if geom.SegmentIntersectsPolygon(s, poly) {
+			return false
+		}
+	}
+	return true
+}
+
+// PointInObstacle reports whether p lies strictly inside some obstacle.
+func (d *Domain) PointInObstacle(p geom.Point) bool {
+	for _, poly := range d.obstacles {
+		if geom.PointStrictlyInSimple(p, poly) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShortestPath returns the Euclidean shortest obstacle-avoiding path from s
+// to t as a polyline including both endpoints, plus its length. ok is false
+// only when s or t is strictly inside an obstacle (the domain is otherwise
+// connected).
+func (d *Domain) ShortestPath(s, t geom.Point) ([]geom.Point, float64, bool) {
+	if d.PointInObstacle(s) || d.PointInObstacle(t) {
+		return nil, 0, false
+	}
+	if d.Visible(s, t) {
+		return []geom.Point{s, t}, s.Dist(t), true
+	}
+	n := len(d.corners)
+	// Graph nodes: corners 0..n-1, s = n, t = n+1.
+	adj := make([][]int, n+2)
+	for i := 0; i < n; i++ {
+		adj[i] = d.cornerAdj[i]
+	}
+	for i := 0; i < n; i++ {
+		if d.Visible(s, d.corners[i]) {
+			adj[n] = append(adj[n], i)
+		}
+		if d.Visible(t, d.corners[i]) {
+			adj[i] = append(append([]int(nil), adj[i]...), n+1) // copy-on-write
+			adj[n+1] = append(adj[n+1], i)
+		}
+	}
+	pos := func(i int) geom.Point {
+		switch i {
+		case n:
+			return s
+		case n + 1:
+			return t
+		default:
+			return d.corners[i]
+		}
+	}
+	return dijkstraPoints(adj, pos, n, n+1)
+}
+
+// dijkstraPoints runs Euclidean Dijkstra over an index graph with a position
+// function, from src to dst.
+func dijkstraPoints(adj [][]int, pos func(int) geom.Point, src, dst int) ([]geom.Point, float64, bool) {
+	n := len(adj)
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &visHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(visItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		if it.v == dst {
+			break
+		}
+		pv := pos(it.v)
+		for _, w := range adj[it.v] {
+			nd := it.d + pv.Dist(pos(w))
+			if nd < dist[w] {
+				dist[w] = nd
+				prev[w] = it.v
+				heap.Push(pq, visItem{w, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, 0, false
+	}
+	var idxPath []int
+	for v := dst; v != -1; v = prev[v] {
+		idxPath = append(idxPath, v)
+		if v == src {
+			break
+		}
+	}
+	path := make([]geom.Point, len(idxPath))
+	for i, v := range idxPath {
+		path[len(idxPath)-1-i] = pos(v)
+	}
+	return path, dist[dst], true
+}
+
+type visItem struct {
+	v int
+	d float64
+}
+
+type visHeap []visItem
+
+func (h visHeap) Len() int            { return len(h) }
+func (h visHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h visHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *visHeap) Push(x interface{}) { *h = append(*h, x.(visItem)) }
+func (h *visHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Overlay is the Overlay Delaunay Graph of Section 4: the Delaunay graph of
+// all convex hull corners, restricted to edges that do not cut through any
+// hull, with the hull boundary edges always present. Compared to the full
+// visibility graph its edge count is linear in the number of hull nodes
+// (planarity), which is the paper's space reduction; paths lengthen by at
+// most the 1.998 Delaunay spanning ratio.
+type Overlay struct {
+	domain  *Domain
+	corners []geom.Point
+	adj     [][]int
+}
+
+// NewOverlay builds the overlay Delaunay graph over the given convex hulls
+// (each a CCW vertex cycle). The hulls are also the visibility obstacles.
+func NewOverlay(hulls [][]geom.Point) *Overlay {
+	o := &Overlay{domain: NewDomain(hulls)}
+	o.corners = o.domain.Corners()
+	n := len(o.corners)
+	o.adj = make([][]int, n)
+
+	addEdge := func(i, j int) {
+		for _, w := range o.adj[i] {
+			if w == j {
+				return
+			}
+		}
+		o.adj[i] = append(o.adj[i], j)
+		o.adj[j] = append(o.adj[j], i)
+	}
+
+	// Delaunay edges between hull corners, filtered by visibility.
+	if n >= 3 {
+		tr := delaunay.Triangulate(o.corners)
+		for _, e := range tr.Edges() {
+			if o.domain.Visible(o.corners[e[0]], o.corners[e[1]]) {
+				addEdge(e[0], e[1])
+			}
+		}
+	}
+	// Hull boundary edges are always part of the overlay.
+	base := 0
+	for _, h := range hulls {
+		for i := range h {
+			addEdge(base+i, base+(i+1)%len(h))
+		}
+		base += len(h)
+	}
+	return o
+}
+
+// Corners returns all hull corners in overlay index order.
+func (o *Overlay) Corners() []geom.Point { return o.corners }
+
+// EdgeCount returns the number of undirected overlay edges — O(h) by
+// planarity, versus Θ(h²) for the visibility graph.
+func (o *Overlay) EdgeCount() int {
+	total := 0
+	for _, a := range o.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Edges returns each undirected overlay edge once as corner index pairs.
+func (o *Overlay) Edges() [][2]int {
+	var out [][2]int
+	for i, nbrs := range o.adj {
+		for _, j := range nbrs {
+			if i < j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Visible exposes the underlying visibility test.
+func (o *Overlay) Visible(a, b geom.Point) bool { return o.domain.Visible(a, b) }
+
+// PointInObstacle reports whether p is strictly inside some hull.
+func (o *Overlay) PointInObstacle(p geom.Point) bool { return o.domain.PointInObstacle(p) }
+
+// ShortestPath returns the shortest path from s to t through the overlay
+// Delaunay graph, entering and leaving at visible hull corners. This is the
+// path the convex hull nodes compute for the routing protocol of Section 4.3.
+func (o *Overlay) ShortestPath(s, t geom.Point) ([]geom.Point, float64, bool) {
+	if o.domain.PointInObstacle(s) || o.domain.PointInObstacle(t) {
+		return nil, 0, false
+	}
+	if o.domain.Visible(s, t) {
+		return []geom.Point{s, t}, s.Dist(t), true
+	}
+	n := len(o.corners)
+	adj := make([][]int, n+2)
+	for i := 0; i < n; i++ {
+		adj[i] = o.adj[i]
+	}
+	for i := 0; i < n; i++ {
+		if o.domain.Visible(s, o.corners[i]) {
+			adj[n] = append(adj[n], i)
+		}
+		if o.domain.Visible(t, o.corners[i]) {
+			adj[i] = append(append([]int(nil), adj[i]...), n+1)
+			adj[n+1] = append(adj[n+1], i)
+		}
+	}
+	pos := func(i int) geom.Point {
+		switch i {
+		case n:
+			return s
+		case n + 1:
+			return t
+		default:
+			return o.corners[i]
+		}
+	}
+	return dijkstraPoints(adj, pos, n, n+1)
+}

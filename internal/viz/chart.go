@@ -1,0 +1,163 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Color  string
+	Dashed bool
+}
+
+// LineChart renders series into a standalone SVG with axes, ticks and a
+// legend. X and Y ranges are derived from the data.
+func LineChart(title, xlabel, ylabel string, series []Series, w, h int) string {
+	const mL, mR, mT, mB = 60.0, 20.0, 36.0, 46.0
+	plotW := float64(w) - mL - mR
+	plotH := float64(h) - mT - mB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if minY > 0 {
+		minY = 0 // anchor count-like axes at zero
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return mL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return mT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-family="sans-serif" fill="#333">%s</text>`+"\n", w/2-len(title)*4, title)
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444" stroke-width="1"/>`+"\n", mL, mT, mL, mT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444" stroke-width="1"/>`+"\n", mL, mT+plotH, mL+plotW, mT+plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		xv := minX + (maxX-minX)*float64(i)/5
+		yv := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+			px(xv), mT, px(xv), mT+plotH)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+			mL, py(yv), mL+plotW, py(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#555" text-anchor="middle">%s</text>`+"\n",
+			px(xv), mT+plotH+14, fmtTick(xv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#555" text-anchor="end">%s</text>`+"\n",
+			mL-4, py(yv)+3, fmtTick(yv))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" fill="#333" text-anchor="middle">%s</text>`+"\n",
+		mL+plotW/2, float64(h)-8, xlabel)
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" font-family="sans-serif" fill="#333" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		mT+plotH/2, mT+plotH/2, ylabel)
+
+	// Series.
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = palette[si%len(palette)]
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+			strings.Join(pts, " "), color, dash)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		ly := mT + 8 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"%s/>`+"\n",
+			mL+plotW-130, ly, mL+plotW-110, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" fill="#333">%s</text>`+"\n",
+			mL+plotW-104, ly+4, s.Name)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bar is one bar in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	Color string
+}
+
+// BarChart renders labelled bars with a value axis.
+func BarChart(title, ylabel string, bars []Bar, w, h int) string {
+	const mL, mR, mT, mB = 60.0, 20.0, 36.0, 70.0
+	plotW := float64(w) - mL - mR
+	plotH := float64(h) - mT - mB
+	maxY := 0.0
+	for _, bb := range bars {
+		maxY = math.Max(maxY, bb.Value)
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-family="sans-serif" fill="#333">%s</text>`+"\n", w/2-len(title)*4, title)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n", mL, mT, mL, mT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n", mL, mT+plotH, mL+plotW, mT+plotH)
+	for i := 0; i <= 5; i++ {
+		yv := maxY * float64(i) / 5
+		y := mT + plotH - yv/maxY*plotH
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-width="0.5"/>`+"\n", mL, y, mL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#555" text-anchor="end">%s</text>`+"\n", mL-4, y+3, fmtTick(yv))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" font-family="sans-serif" fill="#333" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		mT+plotH/2, mT+plotH/2, ylabel)
+	bw := plotW / float64(len(bars)) * 0.7
+	gap := plotW / float64(len(bars))
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	for i, bb := range bars {
+		color := bb.Color
+		if color == "" {
+			color = palette[i%len(palette)]
+		}
+		x := mL + gap*float64(i) + (gap-bw)/2
+		bh := bb.Value / maxY * plotH
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, mT+plotH-bh, bw, bh, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#333" text-anchor="middle">%.2f</text>`+"\n",
+			x+bw/2, mT+plotH-bh-4, bb.Value)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#333" text-anchor="end" transform="rotate(-30 %.1f %.1f)">%s</text>`+"\n",
+			x+bw/2, mT+plotH+14, x+bw/2, mT+plotH+14, bb.Label)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}

@@ -1,0 +1,50 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChart(t *testing.T) {
+	svg := LineChart("rounds vs n", "n", "rounds", []Series{
+		{Name: "measured", X: []float64{128, 256, 512}, Y: []float64{140, 160, 200}},
+		{Name: "c·log²n", X: []float64{128, 256, 512}, Y: []float64{98, 128, 162}, Dashed: true},
+	}, 600, 400)
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "measured", "c·log²n", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 6 {
+		t.Errorf("expected 6 data point markers, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart("empty", "x", "y", nil, 300, 200)
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("must render a valid document")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg := BarChart("stretch", "mean stretch", []Bar{
+		{Label: "greedy", Value: 0},
+		{Label: "goafr", Value: 6.1},
+		{Label: "hull", Value: 1.46},
+	}, 500, 320)
+	for _, want := range []string{"<svg", "<rect", "greedy", "goafr", "hull", "6.10"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(128) != "128" {
+		t.Error("integer ticks plain")
+	}
+	if fmtTick(1.2345) != "1.2" {
+		t.Errorf("got %s", fmtTick(1.2345))
+	}
+}

@@ -1,0 +1,164 @@
+// Package viz renders networks, radio holes, hull abstractions, bay areas
+// and routes as standalone SVG documents — the reproduction of the paper's
+// Figure 1 pipeline picture (hole detection → hull abstraction →
+// c-competitive route, with bay areas shaded).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridroute/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+type Canvas struct {
+	minX, minY, scale float64
+	width, height     int
+	body              strings.Builder
+}
+
+// NewCanvas creates a canvas mapping the world box to a pixel area of the
+// given width; height follows the aspect ratio. A 5% margin is added.
+func NewCanvas(world geom.Box, widthPx int) *Canvas {
+	mx := world.Width() * 0.05
+	my := world.Height() * 0.05
+	world.Min.X -= mx
+	world.Min.Y -= my
+	world.Max.X += mx
+	world.Max.Y += my
+	scale := float64(widthPx) / world.Width()
+	return &Canvas{
+		minX:   world.Min.X,
+		minY:   world.Min.Y,
+		scale:  scale,
+		width:  widthPx,
+		height: int(world.Height() * scale),
+	}
+}
+
+// xy maps world coordinates to pixels (y axis flipped).
+func (c *Canvas) xy(p geom.Point) (float64, float64) {
+	return (p.X - c.minX) * c.scale, float64(c.height) - (p.Y-c.minY)*c.scale
+}
+
+// Line draws a segment.
+func (c *Canvas) Line(a, b geom.Point, stroke string, width float64) {
+	x1, y1 := c.xy(a)
+	x2, y2 := c.xy(b)
+	fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Dot draws a filled circle.
+func (c *Canvas) Dot(p geom.Point, r float64, fill string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// Polygon draws a closed polygon with fill and stroke.
+func (c *Canvas) Polygon(poly []geom.Point, fill, stroke string, width float64, opacity float64) {
+	if len(poly) == 0 {
+		return
+	}
+	var pts []string
+	for _, p := range poly {
+		x, y := c.xy(p)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	fmt.Fprintf(&c.body, `<polygon points="%s" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		strings.Join(pts, " "), fill, opacity, stroke, width)
+}
+
+// Polyline draws an open path.
+func (c *Canvas) Polyline(path []geom.Point, stroke string, width float64) {
+	if len(path) < 2 {
+		return
+	}
+	var pts []string
+	for _, p := range path {
+		x, y := c.xy(p)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	fmt.Fprintf(&c.body, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-linejoin="round"/>`+"\n",
+		strings.Join(pts, " "), stroke, width)
+}
+
+// Text places a label.
+func (c *Canvas) Text(p geom.Point, size float64, fill, s string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.body, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, fill, s)
+}
+
+// SVG returns the complete document.
+func (c *Canvas) SVG() string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.width, c.height, c.width, c.height) +
+		`<rect width="100%" height="100%" fill="white"/>` + "\n" +
+		c.body.String() + "</svg>\n"
+}
+
+// Palette used by the scene renderer.
+const (
+	ColEdge     = "#c9d4e3"
+	ColNode     = "#3b5a7c"
+	ColHole     = "#e8a0a0"
+	ColHull     = "#c03030"
+	ColBay      = "#9fc4e8"
+	ColRoute    = "#1f8a4c"
+	ColSegment  = "#888888"
+	ColWaypoint = "#e0a010"
+)
+
+// Scene describes one rendering of a network state.
+type Scene struct {
+	Points    []geom.Point
+	Edges     [][2]int
+	Holes     [][]geom.Point // hole boundary polygons
+	Hulls     [][]geom.Point // hull abstractions
+	Bays      [][]geom.Point // bay-area polygons
+	Route     []geom.Point   // realized route
+	Waypoints []geom.Point
+	Segment   *geom.Segment // dashed source-target segment
+	Title     string
+}
+
+// Render draws the scene to SVG at the given pixel width.
+func Render(sc Scene, widthPx int) string {
+	box := geom.BoundingBox(sc.Points)
+	c := NewCanvas(box, widthPx)
+	for _, e := range sc.Edges {
+		c.Line(sc.Points[e[0]], sc.Points[e[1]], ColEdge, 0.8)
+	}
+	for _, bay := range sc.Bays {
+		c.Polygon(bay, ColBay, "none", 0, 0.45)
+	}
+	for _, h := range sc.Holes {
+		c.Polygon(h, ColHole, "none", 0, 0.55)
+	}
+	for _, h := range sc.Hulls {
+		c.Polygon(h, "none", ColHull, 2.0, 0)
+	}
+	if sc.Segment != nil {
+		x1, y1 := c.xy(sc.Segment.A)
+		x2, y2 := c.xy(sc.Segment.B)
+		fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2" stroke-dasharray="6,4"/>`+"\n",
+			x1, y1, x2, y2, ColSegment)
+	}
+	for _, p := range sc.Points {
+		c.Dot(p, 1.8, ColNode)
+	}
+	c.Polyline(sc.Route, ColRoute, 2.5)
+	for _, w := range sc.Waypoints {
+		c.Dot(w, 4.0, ColWaypoint)
+	}
+	if len(sc.Route) > 0 {
+		c.Dot(sc.Route[0], 5, ColRoute)
+		c.Dot(sc.Route[len(sc.Route)-1], 5, ColHull)
+	}
+	if sc.Title != "" {
+		c.Text(geom.Pt(box.Min.X, box.Max.Y), 14, "#333333", sc.Title)
+	}
+	return c.SVG()
+}

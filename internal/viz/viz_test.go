@@ -1,0 +1,53 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hybridroute/internal/geom"
+)
+
+func TestCanvasMapsCorners(t *testing.T) {
+	box := geom.BoundingBox([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)})
+	c := NewCanvas(box, 500)
+	x, y := c.xy(geom.Pt(0, 0))
+	if x < 0 || y > float64(c.height) {
+		t.Errorf("origin mapped to (%v,%v)", x, y)
+	}
+	// Y axis must be flipped: higher world Y → smaller pixel y.
+	_, yLow := c.xy(geom.Pt(5, 0))
+	_, yHigh := c.xy(geom.Pt(5, 10))
+	if yHigh >= yLow {
+		t.Error("y axis not flipped")
+	}
+}
+
+func TestRenderProducesValidSVG(t *testing.T) {
+	seg := geom.Seg(geom.Pt(0, 0), geom.Pt(4, 4))
+	svg := Render(Scene{
+		Points:    []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4)},
+		Edges:     [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		Holes:     [][]geom.Point{{geom.Pt(1, 1), geom.Pt(3, 1), geom.Pt(3, 3), geom.Pt(1, 3)}},
+		Hulls:     [][]geom.Point{{geom.Pt(1, 1), geom.Pt(3, 1), geom.Pt(3, 3), geom.Pt(1, 3)}},
+		Bays:      [][]geom.Point{{geom.Pt(1, 1), geom.Pt(2, 1.5), geom.Pt(3, 1)}},
+		Route:     []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4)},
+		Waypoints: []geom.Point{geom.Pt(4, 0)},
+		Segment:   &seg,
+		Title:     "test scene",
+	}, 400)
+	for _, want := range []string{"<svg", "</svg>", "<polygon", "<polyline", "<circle", "<line", "test scene", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") < 6 {
+		t.Error("expected node + waypoint + endpoint dots")
+	}
+}
+
+func TestRenderEmptyScene(t *testing.T) {
+	svg := Render(Scene{Points: []geom.Point{geom.Pt(1, 1)}}, 100)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("degenerate scene must still be a document")
+	}
+}

@@ -1,0 +1,45 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/workload"
+)
+
+func ExampleCityGrid() {
+	sc, err := workload.CityGrid(1, 2, 2, 3, 3, 2, 1, 6)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("buildings:", len(sc.Obstacles))
+	fmt.Println("connected:", sc.Build().Connected())
+	// Output:
+	// buildings: 4
+	// connected: true
+}
+
+func ExampleNewMobility() {
+	sc, err := workload.Uniform(2, 120, 6, 6, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := workload.NewMobility(sc, 3, 0.05)
+	connectedThroughout := true
+	for step := 0; step < 5; step++ {
+		sc = m.Step()
+		if !sc.Build().Connected() {
+			connectedThroughout = false
+		}
+	}
+	fmt.Println("connected throughout:", connectedThroughout)
+	// Output: connected throughout: true
+}
+
+func ExampleRegularPolygon() {
+	hex := workload.RegularPolygon(geom.Pt(0, 0), 2, 6, 0)
+	fmt.Println("vertices:", len(hex), "convex:", geom.IsConvexCCW(hex))
+	// Output: vertices: 6 convex: true
+}

@@ -1,0 +1,303 @@
+// Package workload generates the network scenarios the experiments run on:
+// uniform random deployments, deployments with convex radio-hole obstacles
+// (the "buildings" of the paper's city-centre motivation), regular city
+// grids, adversarial maze corridors for the greedy lower-bound experiment,
+// and a bounded-speed random-waypoint mobility model for the dynamic
+// scenario of Section 6. All generators are deterministic in their seed and
+// guarantee a connected unit disk graph.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+// Scenario is a generated deployment.
+type Scenario struct {
+	Name      string
+	Points    []geom.Point
+	Radius    float64
+	Obstacles [][]geom.Point // ground-truth obstacle polygons (may be empty)
+	Width     float64
+	Height    float64
+}
+
+// Build constructs the unit disk graph of the scenario.
+func (sc *Scenario) Build() *udg.Graph { return udg.Build(sc.Points, sc.Radius) }
+
+// insideAnyObstacle reports whether p is strictly inside any obstacle,
+// with a small clearance margin so hole boundaries form cleanly.
+func insideAnyObstacle(p geom.Point, obstacles [][]geom.Point, margin float64) bool {
+	for _, poly := range obstacles {
+		if geom.PointInPolygon(p, poly) {
+			return true
+		}
+		if margin > 0 {
+			n := len(poly)
+			for i := 0; i < n; i++ {
+				if geom.DistPointSegment(p, poly[i], poly[(i+1)%n]) < margin {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Uniform generates n uniformly random points in a w×h box with the given
+// radio range, resampling until the UDG is connected (up to 200 attempts).
+func Uniform(seed int64, n int, w, h, radius float64) (*Scenario, error) {
+	return WithObstacles(seed, n, w, h, radius, nil)
+}
+
+// WithObstacles generates n points uniformly outside the given obstacle
+// polygons (with a small clearance), resampling until the UDG is connected.
+func WithObstacles(seed int64, n int, w, h, radius float64, obstacles [][]geom.Point) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	margin := radius * 0.05
+	for attempt := 0; attempt < 200; attempt++ {
+		pts := make([]geom.Point, 0, n)
+		for len(pts) < n {
+			p := geom.Pt(rng.Float64()*w, rng.Float64()*h)
+			if insideAnyObstacle(p, obstacles, margin) {
+				continue
+			}
+			pts = append(pts, p)
+		}
+		g := udg.Build(pts, radius)
+		if g.Connected() {
+			return &Scenario{
+				Name:      fmt.Sprintf("uniform-n%d", n),
+				Points:    pts,
+				Radius:    radius,
+				Obstacles: obstacles,
+				Width:     w,
+				Height:    h,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: no connected deployment after 200 attempts (n=%d, area=%.1fx%.1f, r=%.2f)", n, w, h, radius)
+}
+
+// JitteredGrid places points on a grid with the given spacing, jittered
+// deterministically, skipping points inside obstacles. Deterministic and
+// always produces the same deployment for the same arguments.
+func JitteredGrid(spacing, w, h float64, radius float64, obstacles [][]geom.Point) (*Scenario, error) {
+	var pts []geom.Point
+	margin := radius * 0.05
+	for x := 0.0; x <= w+1e-9; x += spacing {
+		for y := 0.0; y <= h+1e-9; y += spacing {
+			p := geom.Pt(x+1e-4*math.Sin(13*x+7*y), y+1e-4*math.Cos(11*x-5*y))
+			if insideAnyObstacle(p, obstacles, margin) {
+				continue
+			}
+			pts = append(pts, p)
+		}
+	}
+	g := udg.Build(pts, radius)
+	if !g.Connected() {
+		return nil, fmt.Errorf("workload: jittered grid disconnected (spacing=%.2f)", spacing)
+	}
+	return &Scenario{
+		Name:      "grid",
+		Points:    pts,
+		Radius:    radius,
+		Obstacles: obstacles,
+		Width:     w,
+		Height:    h,
+	}, nil
+}
+
+// Rect returns a rectangle polygon (CCW).
+func Rect(x, y, w, h float64) []geom.Point {
+	return []geom.Point{
+		geom.Pt(x, y), geom.Pt(x+w, y), geom.Pt(x+w, y+h), geom.Pt(x, y+h),
+	}
+}
+
+// RegularPolygon returns a k-gon centred at c with the given radius (CCW).
+func RegularPolygon(c geom.Point, radius float64, k int, rot float64) []geom.Point {
+	poly := make([]geom.Point, k)
+	for i := 0; i < k; i++ {
+		ang := rot + 2*math.Pi*float64(i)/float64(k)
+		poly[i] = geom.Pt(c.X+radius*math.Cos(ang), c.Y+radius*math.Sin(ang))
+	}
+	return poly
+}
+
+// RandomConvexObstacles generates count disjoint convex obstacles (random
+// regular polygons) inside the margin-inset w×h box, each pair separated by
+// at least sep so their convex hulls cannot intersect — the standing
+// assumption of Section 4.
+func RandomConvexObstacles(seed int64, count int, w, h, minR, maxR, sep float64) [][]geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	type disc struct {
+		c geom.Point
+		r float64
+	}
+	var placed []disc
+	var out [][]geom.Point
+	for attempt := 0; attempt < 10000 && len(out) < count; attempt++ {
+		r := minR + rng.Float64()*(maxR-minR)
+		c := geom.Pt(r+1+rng.Float64()*(w-2*r-2), r+1+rng.Float64()*(h-2*r-2))
+		ok := true
+		for _, d := range placed {
+			if c.Dist(d.c) < r+d.r+sep {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		placed = append(placed, disc{c, r})
+		k := 4 + rng.Intn(5)
+		out = append(out, RegularPolygon(c, r, k, rng.Float64()*math.Pi))
+	}
+	return out
+}
+
+// CityGrid builds a Manhattan-style scenario: bx×by rectangular building
+// blocks of size bw×bh separated by streets of the given width, with nodes
+// sampled on the streets.
+func CityGrid(seed int64, bx, by int, bw, bh, street, radius float64, density float64) (*Scenario, error) {
+	var obstacles [][]geom.Point
+	for i := 0; i < bx; i++ {
+		for j := 0; j < by; j++ {
+			x := street + float64(i)*(bw+street)
+			y := street + float64(j)*(bh+street)
+			obstacles = append(obstacles, Rect(x, y, bw, bh))
+		}
+	}
+	w := street + float64(bx)*(bw+street)
+	h := street + float64(by)*(bh+street)
+	n := int(density * w * h)
+	sc, err := WithObstacles(seed, n, w, h, radius, obstacles)
+	if err != nil {
+		return nil, err
+	}
+	sc.Name = fmt.Sprintf("city-%dx%d", bx, by)
+	return sc, nil
+}
+
+// Maze builds the adversarial scenario of the online-routing lower bound
+// discussion: a long wall with a single gap far from the direct source-
+// target line, which forces long detours and defeats greedy routing.
+func Maze(seed int64, w, h, wallX, gapY, gapH, radius float64, n int) (*Scenario, error) {
+	obstacles := [][]geom.Point{
+		Rect(wallX, -0.5, 1.0, gapY+0.5),           // lower wall segment
+		Rect(wallX, gapY+gapH, 1.0, h-gapY-gapH+1), // upper wall segment
+	}
+	sc, err := WithObstacles(seed, n, w, h, radius, obstacles)
+	if err != nil {
+		return nil, err
+	}
+	sc.Name = "maze"
+	return sc, nil
+}
+
+// Mobility is a bounded-speed random-waypoint model (Section 6): each node
+// moves toward a private waypoint at most speed per timestep; arrived nodes
+// pick a fresh waypoint. Steps that would disconnect the UDG or enter an
+// obstacle are rejected per node. With fraction < 1 only that share of
+// nodes is mobile (bounded churn — the future-work variant where only parts
+// of the overlay need recomputation).
+type Mobility struct {
+	sc       *Scenario
+	rng      *rand.Rand
+	targets  []geom.Point
+	speed    float64
+	mobile   []bool
+	fraction float64
+}
+
+// NewMobility creates a mobility process over a scenario; all nodes move.
+func NewMobility(sc *Scenario, seed int64, speed float64) *Mobility {
+	return NewPartialMobility(sc, seed, speed, 1.0)
+}
+
+// NewPartialMobility creates a mobility process in which only the given
+// fraction of nodes (chosen once, uniformly) ever moves.
+func NewPartialMobility(sc *Scenario, seed int64, speed, fraction float64) *Mobility {
+	m := &Mobility{
+		sc:       sc,
+		rng:      rand.New(rand.NewSource(seed)),
+		targets:  make([]geom.Point, len(sc.Points)),
+		speed:    speed,
+		mobile:   make([]bool, len(sc.Points)),
+		fraction: fraction,
+	}
+	for i := range m.targets {
+		m.targets[i] = m.freePoint()
+		m.mobile[i] = m.rng.Float64() < fraction
+	}
+	return m
+}
+
+func (m *Mobility) freePoint() geom.Point {
+	for {
+		p := geom.Pt(m.rng.Float64()*m.sc.Width, m.rng.Float64()*m.sc.Height)
+		if !insideAnyObstacle(p, m.sc.Obstacles, m.sc.Radius*0.05) {
+			return p
+		}
+	}
+}
+
+// Step advances every node one timestep and returns the scenario (whose
+// Points slice is updated in place). Connectivity is preserved: a whole-step
+// move that disconnects the UDG is rolled back node by node.
+func (m *Mobility) Step() *Scenario {
+	old := append([]geom.Point(nil), m.sc.Points...)
+	for i, p := range m.sc.Points {
+		if !m.mobile[i] {
+			continue
+		}
+		to := m.targets[i]
+		d := to.Sub(p)
+		dist := d.Norm()
+		var np geom.Point
+		if dist <= m.speed {
+			np = to
+			m.targets[i] = m.freePoint()
+		} else {
+			np = p.Add(d.Scale(m.speed / dist))
+		}
+		if !insideAnyObstacle(np, m.sc.Obstacles, m.sc.Radius*0.05) {
+			m.sc.Points[i] = np
+		}
+	}
+	if udg.Build(m.sc.Points, m.sc.Radius).Connected() {
+		return m.sc
+	}
+	// Roll back nodes one by one until connectivity is restored.
+	for i := range m.sc.Points {
+		m.sc.Points[i] = old[i]
+		if udg.Build(m.sc.Points, m.sc.Radius).Connected() {
+			return m.sc
+		}
+	}
+	copy(m.sc.Points, old)
+	return m.sc
+}
+
+// StarPolygon returns a star-shaped polygon centred at c: spikes vertices
+// alternate between outer radius rOut and inner radius rIn (CCW). Stars are
+// the canonical non-convex holes: their convex hulls enclose real bay areas,
+// which exercises the Section 4.4 routing cases.
+func StarPolygon(c geom.Point, rOut, rIn float64, spikes int, rot float64) []geom.Point {
+	k := 2 * spikes
+	poly := make([]geom.Point, k)
+	for i := 0; i < k; i++ {
+		r := rOut
+		if i%2 == 1 {
+			r = rIn
+		}
+		ang := rot + 2*math.Pi*float64(i)/float64(k)
+		poly[i] = geom.Pt(c.X+r*math.Cos(ang), c.Y+r*math.Sin(ang))
+	}
+	return poly
+}

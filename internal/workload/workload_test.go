@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"testing"
+
+	"hybridroute/internal/geom"
+)
+
+func TestUniformConnected(t *testing.T) {
+	sc, err := Uniform(1, 200, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Points) != 200 {
+		t.Fatalf("points = %d", len(sc.Points))
+	}
+	if !sc.Build().Connected() {
+		t.Fatal("must be connected")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, err := Uniform(7, 50, 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(7, 50, 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if !a.Points[i].Eq(b.Points[i]) {
+			t.Fatal("same seed must give same deployment")
+		}
+	}
+	c, _ := Uniform(8, 50, 5, 5, 1)
+	same := true
+	for i := range a.Points {
+		if !a.Points[i].Eq(c.Points[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestUniformImpossibleErrors(t *testing.T) {
+	if _, err := Uniform(1, 5, 100, 100, 0.5); err == nil {
+		t.Fatal("sparse deployment cannot connect; expected error")
+	}
+}
+
+func TestWithObstaclesAvoidsThem(t *testing.T) {
+	obs := [][]geom.Point{Rect(3, 3, 2, 2)}
+	sc, err := WithObstacles(2, 300, 10, 10, 1, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sc.Points {
+		if geom.PointInPolygon(p, obs[0]) {
+			t.Fatalf("point %v inside obstacle", p)
+		}
+	}
+}
+
+func TestJitteredGridDeterministic(t *testing.T) {
+	a, err := JitteredGrid(0.55, 6, 6, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JitteredGrid(0.55, 6, 6, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("determinism")
+	}
+	for i := range a.Points {
+		if !a.Points[i].Eq(b.Points[i]) {
+			t.Fatal("determinism")
+		}
+	}
+}
+
+func TestRectAndRegularPolygon(t *testing.T) {
+	r := Rect(1, 2, 3, 4)
+	if geom.PolygonArea(r) != 12 {
+		t.Errorf("area = %v", geom.PolygonArea(r))
+	}
+	p := RegularPolygon(geom.Pt(0, 0), 2, 6, 0)
+	if len(p) != 6 {
+		t.Fatal("hexagon")
+	}
+	if !geom.IsConvexCCW(p) {
+		t.Error("regular polygon must be convex CCW")
+	}
+}
+
+func TestRandomConvexObstaclesDisjoint(t *testing.T) {
+	obs := RandomConvexObstacles(5, 6, 20, 20, 1, 2, 1.5)
+	if len(obs) != 6 {
+		t.Fatalf("placed %d obstacles", len(obs))
+	}
+	for i := 0; i < len(obs); i++ {
+		if !geom.IsConvexCCW(obs[i]) {
+			t.Fatalf("obstacle %d not convex", i)
+		}
+		for j := i + 1; j < len(obs); j++ {
+			for _, p := range obs[i] {
+				if geom.PointInPolygon(p, obs[j]) {
+					t.Fatalf("obstacles %d and %d overlap", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCityGrid(t *testing.T) {
+	sc, err := CityGrid(3, 2, 2, 3, 3, 2, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Obstacles) != 4 {
+		t.Fatalf("obstacles = %d", len(sc.Obstacles))
+	}
+	if !sc.Build().Connected() {
+		t.Fatal("city UDG must be connected")
+	}
+	for _, p := range sc.Points {
+		for _, o := range sc.Obstacles {
+			if geom.PointInPolygon(p, o) {
+				t.Fatalf("node %v inside a building", p)
+			}
+		}
+	}
+}
+
+func TestMaze(t *testing.T) {
+	sc, err := Maze(4, 12, 8, 6, 6.5, 1.2, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Build().Connected() {
+		t.Fatal("maze must be connected through the gap")
+	}
+}
+
+func TestMobilityPreservesConnectivity(t *testing.T) {
+	sc, err := Uniform(11, 150, 7, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMobility(sc, 2, 0.1)
+	for step := 0; step < 20; step++ {
+		sc = m.Step()
+		if !sc.Build().Connected() {
+			t.Fatalf("disconnected after step %d", step)
+		}
+		for _, p := range sc.Points {
+			if p.X < -1 || p.X > sc.Width+1 || p.Y < -1 || p.Y > sc.Height+1 {
+				t.Fatalf("node escaped the arena: %v", p)
+			}
+		}
+	}
+}
+
+func TestMobilityActuallyMoves(t *testing.T) {
+	sc, err := Uniform(13, 100, 6, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]geom.Point(nil), sc.Points...)
+	m := NewMobility(sc, 3, 0.05)
+	m.Step()
+	moved := 0
+	for i := range before {
+		if !before[i].Eq(sc.Points[i]) {
+			moved++
+		}
+	}
+	if moved < len(before)/2 {
+		t.Fatalf("only %d/%d nodes moved", moved, len(before))
+	}
+}
+
+func TestStarPolygon(t *testing.T) {
+	star := StarPolygon(geom.Pt(5, 5), 3, 1.5, 7, 0.2)
+	if len(star) != 14 {
+		t.Fatalf("vertices = %d", len(star))
+	}
+	if geom.IsConvexCCW(star) {
+		t.Fatal("a star must not be convex")
+	}
+	if geom.PolygonArea(star) <= 0 {
+		t.Fatal("star must be CCW (positive area)")
+	}
+	hull := geom.ConvexHull(star)
+	if len(hull) != 7 {
+		t.Fatalf("hull spikes = %d, want 7", len(hull))
+	}
+	// Every vertex within the hull; inner vertices strictly inside.
+	for i, p := range star {
+		if !geom.PointInConvex(p, hull) {
+			t.Fatalf("vertex %d outside own hull", i)
+		}
+	}
+}
