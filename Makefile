@@ -1,0 +1,24 @@
+# Tier-1 verification (referenced from ROADMAP.md): vet + build + full test
+# suite + a race-detector pass over the packages with concurrent query paths.
+.PHONY: tier1 vet build test race bench ci
+
+tier1: vet build test race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The batch engine serves queries from many goroutines over one shared
+# Network; keep its packages race-clean.
+race:
+	go test -race ./internal/core/... ./internal/routing/...
+
+bench:
+	go test -bench=. -benchmem
+
+ci: tier1

@@ -5,9 +5,15 @@
 package hybridroute_test
 
 import (
+	"math"
+	"math/rand"
+	"sync"
 	"testing"
 
+	"hybridroute/internal/core"
 	"hybridroute/internal/expt"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/workload"
 )
 
 func benchExperiment(b *testing.B, fn func(expt.Options) (*expt.Result, error)) {
@@ -76,3 +82,93 @@ func BenchmarkE13Ablation(b *testing.B) { benchExperiment(b, expt.E13) }
 // BenchmarkE14Economy measures long-range word budgets of the hybrid scheme
 // versus the central-server strawman of the introduction.
 func BenchmarkE14Economy(b *testing.B) { benchExperiment(b, expt.E14) }
+
+// BenchmarkE15Engine runs the batch-engine experiment (sequential vs cold vs
+// warm engine on the same workload).
+func BenchmarkE15Engine(b *testing.B) { benchExperiment(b, expt.E15) }
+
+// --- batch engine micro-benchmarks ---
+//
+// One op = answering the same 256-query workload (half hot-set repeats, half
+// random pairs) over a shared preprocessed network, so per-op times compare
+// directly: sequential Route loop vs the engine with a cold cache each op vs
+// the engine reused (warm cache). EXPERIMENTS.md records a reference run.
+
+var benchEngineState struct {
+	once    sync.Once
+	nw      *core.Network
+	queries []core.Query
+	err     error
+}
+
+func benchEngineSetup(b *testing.B) (*core.Network, []core.Query) {
+	b.Helper()
+	s := &benchEngineState
+	s.once.Do(func() {
+		side := math.Sqrt(600) * 0.42
+		obstacles := workload.RandomConvexObstacles(1, 3, side, side, side/8, side/5, 1.2)
+		sc, err := workload.WithObstacles(1, 600, side, side, 1, obstacles)
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.nw, s.err = core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 1})
+		if s.err != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(7))
+		hot := make([]core.Query, 12)
+		for i := range hot {
+			hot[i] = core.Query{S: sim.NodeID(rng.Intn(s.nw.G.N())), T: sim.NodeID(rng.Intn(s.nw.G.N()))}
+		}
+		for len(s.queries) < 256 {
+			if rng.Intn(2) == 0 {
+				s.queries = append(s.queries, hot[rng.Intn(len(hot))])
+			} else {
+				s.queries = append(s.queries, core.Query{
+					S: sim.NodeID(rng.Intn(s.nw.G.N())),
+					T: sim.NodeID(rng.Intn(s.nw.G.N())),
+				})
+			}
+		}
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.nw, s.queries
+}
+
+// BenchmarkRouteSequential is the baseline: one Network.Route call per query.
+func BenchmarkRouteSequential(b *testing.B) {
+	nw, queries := benchEngineSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			nw.Route(q.S, q.T)
+		}
+	}
+}
+
+// BenchmarkEngineBatchCold pays the full planning cost every op: a fresh
+// engine (empty cache) per iteration isolates the worker-pool speedup.
+func BenchmarkEngineBatchCold(b *testing.B) {
+	nw, queries := benchEngineSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(nw, core.EngineConfig{})
+		eng.RouteBatch(queries)
+	}
+}
+
+// BenchmarkEngineBatch reuses one engine across ops (warm plan cache): the
+// acceptance configuration, expected ≥ 2x over BenchmarkRouteSequential on a
+// multi-core runner.
+func BenchmarkEngineBatch(b *testing.B) {
+	nw, queries := benchEngineSetup(b)
+	eng := core.NewEngine(nw, core.EngineConfig{})
+	eng.RouteBatch(queries) // warm the cache outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RouteBatch(queries)
+	}
+}

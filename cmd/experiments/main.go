@@ -1,10 +1,10 @@
-// Command experiments runs the full experiment suite E1–E10 (see DESIGN.md)
+// Command experiments runs the full experiment suite E1–E15 (see DESIGN.md)
 // and prints each result table together with its claim check; EXPERIMENTS.md
 // records a reference run.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed 1] [-only E2]
+//	experiments [-quick] [-seed 1] [-only E2] [-workers 8]
 package main
 
 import (
@@ -22,13 +22,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "run a single experiment, e.g. E2")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
+	workers := flag.Int("workers", 0, "batch-engine worker pool size for E15 (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opt := expt.Options{Quick: *quick, Seed: *seed}
+	opt := expt.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	fns := map[string]func(expt.Options) (*expt.Result, error){
 		"E1": expt.E1, "E2": expt.E2, "E3": expt.E3, "E4": expt.E4, "E5": expt.E5,
 		"E6": expt.E6, "E7": expt.E7, "E8": expt.E8, "E9": expt.E9, "E10": expt.E10,
 		"E11": expt.E11, "E12": expt.E12, "E13": expt.E13, "E14": expt.E14,
+		"E15": expt.E15,
 	}
 
 	var results []*expt.Result

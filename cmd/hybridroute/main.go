@@ -2,9 +2,14 @@
 // routes a batch of queries, reporting preprocessing cost and path stretch —
 // a one-shot demonstration of the system.
 //
+// With -batch the query workload is answered by the concurrent batch engine
+// (worker pool + sharded plan cache) instead of one sequential Route call
+// per query, and the report adds throughput and cache statistics.
+//
 // Usage:
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
+//	            [-batch] [-workers 0] [-cache 4096]
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"hybridroute/internal/core"
 	"hybridroute/internal/sim"
@@ -28,6 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scenario := flag.String("scenario", "uniform", "scenario: uniform, city or maze")
 	router := flag.String("router", "hull", "routing variant: hull (Sec. 4) or visibility (Sec. 3)")
+	batch := flag.Bool("batch", false, "answer queries through the concurrent batch engine")
+	workers := flag.Int("workers", 0, "batch engine worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "batch engine plan cache entries (0 = default 4096, negative = disabled)")
 	flag.Parse()
 
 	sc, err := buildScenario(*scenario, *seed, *n, *holes)
@@ -55,21 +64,44 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 99))
+	var pairs []core.Query
+	for len(pairs) < *queries {
+		s := sim.NodeID(rng.Intn(g.N()))
+		t := sim.NodeID(rng.Intn(g.N()))
+		if s != t {
+			pairs = append(pairs, core.Query{S: s, T: t})
+		}
+	}
+
+	var outcomes []core.Outcome
+	switch {
+	case *batch && *router == "visibility":
+		log.Fatal("-batch currently supports the hull router only")
+	case *batch:
+		eng := core.NewEngine(nw, core.EngineConfig{Workers: *workers, CacheSize: *cacheSize})
+		start := time.Now()
+		outcomes = eng.RouteBatch(pairs)
+		dur := time.Since(start)
+		st := eng.Stats()
+		fmt.Printf("\nbatch engine: %d queries in %s (%.0f queries/s, %d workers)\n",
+			len(pairs), dur.Round(time.Microsecond), float64(len(pairs))/dur.Seconds(), eng.Workers())
+		fmt.Printf("plan cache: %d hits / %d misses (rate %.2f), %d entries, %d evictions\n",
+			st.Hits, st.Misses, st.HitRate(), st.Entries, st.Evictions)
+	default:
+		outcomes = make([]core.Outcome, len(pairs))
+		for i, p := range pairs {
+			if *router == "visibility" {
+				outcomes[i] = nw.RouteVisibility(p.S, p.T)
+			} else {
+				outcomes[i] = nw.Route(p.S, p.T)
+			}
+		}
+	}
+
 	var stretches []float64
 	delivered, fallbacks := 0, 0
 	cases := map[int]int{}
-	for i := 0; i < *queries; i++ {
-		s := sim.NodeID(rng.Intn(g.N()))
-		t := sim.NodeID(rng.Intn(g.N()))
-		if s == t {
-			continue
-		}
-		var out core.Outcome
-		if *router == "visibility" {
-			out = nw.RouteVisibility(s, t)
-		} else {
-			out = nw.Route(s, t)
-		}
+	for i, out := range outcomes {
 		cases[out.Case]++
 		if !out.Reached {
 			continue
@@ -78,7 +110,7 @@ func main() {
 		if out.PlanFallback {
 			fallbacks++
 		}
-		if _, opt, ok := g.ShortestPath(s, t); ok && opt > 0 {
+		if _, opt, ok := g.ShortestPath(pairs[i].S, pairs[i].T); ok && opt > 0 {
 			stretches = append(stretches, out.Length(nw.LDel)/opt)
 		}
 	}

@@ -1,0 +1,298 @@
+// The batch-routing engine: after the one-time preprocessing of Section 5,
+// every structure a query touches (LDel², router faces, hulls, bays, overlay
+// graphs, visibility domains) is read-only, so a node can answer many
+// queries from stored state — the serving model the paper's abstraction
+// exists to amortize. Engine exploits that: it answers query batches on a
+// worker pool over one shared Network and keeps the expensive reusable
+// sub-results of plan construction (per-group geodesics, hull exit plans,
+// overlay waypoint paths) in a bounded, sharded LRU cache so repeated and
+// clustered queries skip recomputation.
+
+package core
+
+import (
+	"container/list"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+)
+
+// Query is one routing request for the batch engine.
+type Query struct {
+	S, T sim.NodeID
+}
+
+// EngineConfig tunes the batch engine.
+type EngineConfig struct {
+	// Workers is the routing worker pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the total number of cached plan entries across all
+	// shards; 0 means the default (4096), negative disables caching (the
+	// pool still routes concurrently).
+	CacheSize int
+	// Shards is the number of cache shards (each with its own lock); <= 0
+	// means the default (16). More shards reduce lock contention.
+	Shards int
+}
+
+// CacheStats reports plan-cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Engine answers routing queries over a preprocessed Network concurrently.
+// The Network (and everything reachable from it on the query path) is
+// treated as shared read-only state; the engine's only mutable state is the
+// sharded plan cache. An Engine is safe for concurrent use and multiple
+// engines may share one Network.
+type Engine struct {
+	nw      *Network
+	workers int
+	shards  []cacheShard
+}
+
+// NewEngine builds a batch engine over a preprocessed network.
+func NewEngine(nw *Network, cfg EngineConfig) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 4096
+	}
+	e := &Engine{nw: nw, workers: workers}
+	if size > 0 {
+		shards := cfg.Shards
+		if shards <= 0 {
+			shards = 16
+		}
+		if shards > size {
+			shards = size
+		}
+		per := (size + shards - 1) / shards
+		e.shards = make([]cacheShard, shards)
+		for i := range e.shards {
+			e.shards[i].cap = per
+			e.shards[i].entries = make(map[planKey]*list.Element, per)
+			e.shards[i].order = list.New()
+		}
+	}
+	return e
+}
+
+// Network returns the shared preprocessed network.
+func (e *Engine) Network() *Network { return e.nw }
+
+// Workers returns the effective worker pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Route answers a single query through the plan cache. The outcome is
+// identical to Network.Route on the same pair.
+func (e *Engine) Route(s, t sim.NodeID) Outcome {
+	return e.nw.route(e, s, t, false)
+}
+
+// RouteBatch answers all queries on the worker pool, preserving input order
+// in the result slice. Outcomes are identical to routing each query
+// sequentially via Network.Route.
+func (e *Engine) RouteBatch(queries []Query) []Outcome {
+	out := make([]Outcome, len(queries))
+	workers := e.workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = e.Route(q.S, q.T)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = e.Route(queries[i].S, queries[i].T)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats sums cache counters across shards.
+func (e *Engine) Stats() CacheStats {
+	var st CacheStats
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += s.order.Len()
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// --- planSource implementation: cache-through to the Network ---
+
+var _ planSource = (*Engine)(nil)
+
+const (
+	kindGroupPath = iota
+	kindExitPlan
+	kindOverlay
+)
+
+// planKey identifies one cacheable sub-result. Exit plans additionally
+// depend on the continuous "toward" point, carried as raw coordinates.
+type planKey struct {
+	kind int8
+	gi   int32
+	a, b sim.NodeID
+	x, y float64
+}
+
+// planValue is a cached plan fragment. Failures (ok=false) are cached too:
+// a pair that falls back once will fall back every time.
+type planValue struct {
+	wps  []sim.NodeID
+	exit sim.NodeID
+	ok   bool
+}
+
+func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
+	k := planKey{kind: kindGroupPath, gi: int32(gi), a: s, b: t}
+	if v, hit := e.lookup(k); hit {
+		return copyIDs(v.wps), v.ok
+	}
+	wps, ok := e.nw.groupPathNodes(gi, s, t)
+	e.store(k, planValue{wps: copyIDs(wps), ok: ok})
+	return wps, ok
+}
+
+func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID, sim.NodeID, bool) {
+	k := planKey{kind: kindExitPlan, gi: int32(gi), a: v, x: toward.X, y: toward.Y}
+	if c, hit := e.lookup(k); hit {
+		return copyIDs(c.wps), c.exit, c.ok
+	}
+	wps, exit, ok := e.nw.exitPlan(gi, v, toward)
+	e.store(k, planValue{wps: copyIDs(wps), exit: exit, ok: ok})
+	return wps, exit, ok
+}
+
+func (e *Engine) overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool) {
+	k := planKey{kind: kindOverlay, a: a, b: b}
+	if v, hit := e.lookup(k); hit {
+		return copyIDs(v.wps), v.ok
+	}
+	wps, ok := e.nw.overlayWaypoints(a, b)
+	e.store(k, planValue{wps: copyIDs(wps), ok: ok})
+	return wps, ok
+}
+
+func (e *Engine) lookup(k planKey) (planValue, bool) {
+	if len(e.shards) == 0 {
+		return planValue{}, false
+	}
+	return e.shards[shardOf(k, len(e.shards))].get(k)
+}
+
+func (e *Engine) store(k planKey, v planValue) {
+	if len(e.shards) == 0 {
+		return
+	}
+	e.shards[shardOf(k, len(e.shards))].put(k, v)
+}
+
+// copyIDs returns a defensive copy: cached slices must never share backing
+// arrays with values handed to route(), which appends to plan fragments.
+func copyIDs(ids []sim.NodeID) []sim.NodeID {
+	if ids == nil {
+		return nil
+	}
+	return append(make([]sim.NodeID, 0, len(ids)), ids...)
+}
+
+// shardOf mixes the key fields FNV-1a style into a shard index.
+func shardOf(k planKey, shards int) int {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(k.kind))
+	mix(uint64(uint32(k.gi)))
+	mix(uint64(k.a))
+	mix(uint64(k.b))
+	mix(math.Float64bits(k.x))
+	mix(math.Float64bits(k.y))
+	return int(h % uint64(shards))
+}
+
+// cacheShard is one lock-striped LRU segment: map for lookup, list for
+// recency order (front = most recent).
+type cacheShard struct {
+	mu                      sync.Mutex
+	cap                     int
+	entries                 map[planKey]*list.Element
+	order                   *list.List
+	hits, misses, evictions uint64
+}
+
+type cacheItem struct {
+	key planKey
+	val planValue
+}
+
+func (s *cacheShard) get(k planKey) (planValue, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.misses++
+		return planValue{}, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+func (s *cacheShard) put(k planKey, v planValue) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		el.Value.(*cacheItem).val = v
+		s.order.MoveToFront(el)
+		return
+	}
+	for s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheItem).key)
+		s.evictions++
+	}
+	s.entries[k] = s.order.PushFront(&cacheItem{key: k, val: v})
+}

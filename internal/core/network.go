@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"hybridroute/internal/delaunay"
 	"hybridroute/internal/geom"
@@ -124,11 +125,16 @@ type Network struct {
 	Groups []HullGroup
 	Report Report
 
-	hullNodeOf   map[geom.Point]sim.NodeID
-	nodeAtPt     map[geom.Point]sim.NodeID
-	groupDomains []*vis.Domain // lazy per-group domains over member hole polygons
-	ringSnapshot map[string]ringEpochInfo
-	reusedHoles  map[int]bool // holes whose ring results were carried over
+	hullNodeOf map[geom.Point]sim.NodeID
+	nodeAtPt   map[geom.Point]sim.NodeID
+	// groupDomains are built lazily but init-once (guarded by groupDomainInit)
+	// so concurrent queries — the batch Engine fires Route from many
+	// goroutines — see exactly one construction per group. Everything else a
+	// query touches is immutable after Preprocess returns.
+	groupDomains    []*vis.Domain
+	groupDomainInit []sync.Once
+	ringSnapshot    map[string]ringEpochInfo
+	reusedHoles     map[int]bool // holes whose ring results were carried over
 }
 
 // ringEpochInfo remembers one ring's identity and result for the
@@ -224,17 +230,18 @@ func hullsOverlapPolys(a, b []geom.Point) bool {
 	return false
 }
 
-// groupDomain returns (building lazily) the visibility domain over the
-// member hole boundary polygons of group gi, used for geodesics inside the
-// group's merged hull (bay areas and inter-hole corridors).
+// groupDomain returns (building lazily, exactly once, race-free) the
+// visibility domain over the member hole boundary polygons of group gi, used
+// for geodesics inside the group's merged hull (bay areas and inter-hole
+// corridors).
 func (nw *Network) groupDomain(gi int) *vis.Domain {
-	if nw.groupDomains[gi] == nil {
+	nw.groupDomainInit[gi].Do(func() {
 		var polys [][]geom.Point
 		for _, hi := range nw.Groups[gi].Holes {
 			polys = append(polys, nw.Holes.Holes[hi].Polygon)
 		}
 		nw.groupDomains[gi] = vis.NewDomain(polys)
-	}
+	})
 	return nw.groupDomains[gi]
 }
 
@@ -357,6 +364,7 @@ func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network)
 		nw.nodeAtPt[g.Point(sim.NodeID(v))] = sim.NodeID(v)
 	}
 	nw.groupDomains = make([]*vis.Domain, len(nw.Groups))
+	nw.groupDomainInit = make([]sync.Once, len(nw.Groups))
 
 	// Phase L: bay areas and their dominating sets.
 	nw.buildBays()

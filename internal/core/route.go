@@ -66,6 +66,18 @@ func (nw *Network) caseOf(s, t sim.NodeID) (int, int, int) {
 	}
 }
 
+// planSource supplies the expensive reusable sub-results of route planning:
+// per-group geodesics, hull exit plans and overlay waypoint paths. Network
+// itself is the uncached source; Engine layers a sharded LRU cache on top of
+// the same Network so batched and repeated queries skip recomputation.
+// Implementations must be safe for concurrent use and must return slices the
+// caller may append to.
+type planSource interface {
+	groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool)
+	exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID, sim.NodeID, bool)
+	overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool)
+}
+
 // Route answers a query with the convex-hull-abstraction protocol of
 // Section 4.3: the source learns the target position over a long-range
 // link, sends via Chew's algorithm, and on hitting a hole boundary the hit
@@ -73,24 +85,27 @@ func (nw *Network) caseOf(s, t sim.NodeID) (int, int, int) {
 // Graph; bay-area endpoints are routed via the extreme-point strategy of
 // Section 4.4.
 func (nw *Network) Route(s, t sim.NodeID) Outcome {
-	return nw.route(s, t, false)
+	return nw.route(nw, s, t, false)
 }
 
 // RouteVisibility answers a query with the Section-3 protocol: identical
 // flow, but hole nodes store the full Visibility Graph of all hole boundary
 // nodes (larger storage, 17.7-competitive versus ≤ 35.37).
 func (nw *Network) RouteVisibility(s, t sim.NodeID) Outcome {
-	return nw.route(s, t, true)
+	return nw.route(nw, s, t, true)
 }
 
-func (nw *Network) route(s, t sim.NodeID, useVisibility bool) Outcome {
-	out := Outcome{LongRange: 2} // position query + response over long-range
+func (nw *Network) route(src planSource, s, t sim.NodeID, useVisibility bool) Outcome {
+	out := Outcome{}
 	c, gs, gt := nw.caseOf(s, t)
 	out.Case = c
 	if s == t {
+		// Self-queries never touch a long-range link: the source already
+		// knows its own position.
 		out.Result = routing.Result{Path: []sim.NodeID{s}, Reached: true}
 		return out
 	}
+	out.LongRange = 2 // position query + response over long-range
 
 	if useVisibility {
 		// The visibility-graph variant treats hole boundary polygons as the
@@ -100,12 +115,12 @@ func (nw *Network) route(s, t sim.NodeID, useVisibility bool) Outcome {
 
 	switch c {
 	case 1:
-		return nw.routeOutside(s, t, out)
+		return nw.routeOutside(src, s, t, out)
 	case 4, 5:
 		// Same merged hull: geodesic inside the group around its hole
 		// boundaries (Section 4.4's extreme-point routing; the geodesic's
 		// interior vertices are exactly the extreme points).
-		wps, ok := nw.groupPathNodes(gs, s, t)
+		wps, ok := src.groupPathNodes(gs, s, t)
 		if !ok {
 			return nw.globalFallback(s, t, out)
 		}
@@ -114,17 +129,17 @@ func (nw *Network) route(s, t sim.NodeID, useVisibility bool) Outcome {
 		out.Result = nw.Router.ChewVia(wps)
 		return out
 	default: // cases 2 and 3: exit/enter merged hulls via hull corners
-		head, exitNode, ok := nw.exitPlan(gs, s, nw.G.Point(t))
+		head, exitNode, ok := src.exitPlan(gs, s, nw.G.Point(t))
 		if !ok {
 			return nw.globalFallback(s, t, out)
 		}
-		tailRev, enterNode, ok := nw.exitPlan(gt, t, nw.G.Point(s))
+		tailRev, enterNode, ok := src.exitPlan(gt, t, nw.G.Point(s))
 		if !ok {
 			return nw.globalFallback(s, t, out)
 		}
 		var mid []sim.NodeID
 		if exitNode != enterNode {
-			m, ok := nw.overlayWaypoints(exitNode, enterNode)
+			m, ok := src.overlayWaypoints(exitNode, enterNode)
 			if !ok {
 				return nw.globalFallback(s, t, out)
 			}
@@ -142,7 +157,7 @@ func (nw *Network) route(s, t sim.NodeID, useVisibility bool) Outcome {
 // routeOutside implements case 1 faithfully: Chew toward t; if a hole is
 // hit, the hit node inserts t into its Overlay Delaunay Graph, computes a
 // shortest path, and the message follows the hull-node waypoints.
-func (nw *Network) routeOutside(s, t sim.NodeID, out Outcome) Outcome {
+func (nw *Network) routeOutside(src planSource, s, t sim.NodeID, out Outcome) Outcome {
 	first := nw.Router.Chew(s, t)
 	if first.Reached {
 		out.Result = first
@@ -158,18 +173,18 @@ func (nw *Network) routeOutside(s, t sim.NodeID, out Outcome) Outcome {
 	if g0 := nw.groupAt(nw.G.Point(h0)); g0 >= 0 {
 		// The hit node sits inside its group's merged hull (bay area or
 		// inter-hole region): exit first.
-		head, exitNode, exOK := nw.exitPlan(g0, h0, nw.G.Point(t))
+		head, exitNode, exOK := src.exitPlan(g0, h0, nw.G.Point(t))
 		if !exOK {
 			return nw.globalFallback(s, t, out)
 		}
-		mid, mOK := nw.overlayWaypoints(exitNode, t)
+		mid, mOK := src.overlayWaypoints(exitNode, t)
 		if !mOK {
 			return nw.globalFallback(s, t, out)
 		}
 		wps = appendWaypoints(head, mid)
 		ok = true
 	} else {
-		wps, ok = nw.overlayWaypoints(h0, t)
+		wps, ok = src.overlayWaypoints(h0, t)
 	}
 	if !ok {
 		return nw.globalFallback(s, t, out)
@@ -180,7 +195,7 @@ func (nw *Network) routeOutside(s, t sim.NodeID, out Outcome) Outcome {
 	}
 	out.Waypoints = wps
 	out.Result = routing.Result{
-		Path:     append(append([]sim.NodeID{}, first.Path...), rest.Path[1:]...),
+		Path:     spliceTail(first.Path, rest.Path),
 		Reached:  true,
 		Fallback: first.Fallback || rest.Fallback,
 	}
@@ -194,13 +209,14 @@ func (nw *Network) routeOutside(s, t sim.NodeID, out Outcome) Outcome {
 // The domain should be built once via vis.NewDomain and reused across
 // queries.
 func (nw *Network) RouteWithObstacles(s, t sim.NodeID, domain *vis.Domain) Outcome {
-	out := Outcome{LongRange: 2}
+	out := Outcome{}
 	c, _, _ := nw.caseOf(s, t)
 	out.Case = c
 	if s == t {
 		out.Result = routing.Result{Path: []sim.NodeID{s}, Reached: true}
 		return out
 	}
+	out.LongRange = 2
 	first := nw.Router.Chew(s, t)
 	if first.Reached {
 		out.Result = first
@@ -225,7 +241,7 @@ func (nw *Network) RouteWithObstacles(s, t sim.NodeID, domain *vis.Domain) Outco
 	}
 	out.Waypoints = wps
 	out.Result = routing.Result{
-		Path:     append(append([]sim.NodeID{}, first.Path...), rest.Path[1:]...),
+		Path:     spliceTail(first.Path, rest.Path),
 		Reached:  true,
 		Fallback: first.Fallback || rest.Fallback,
 	}
@@ -238,13 +254,14 @@ func (nw *Network) RouteWithObstacles(s, t sim.NodeID, domain *vis.Domain) Outco
 // holes"), with O(h) instead of Θ(h²) edges and a 1.998× longer plan in the
 // worst case.
 func (nw *Network) RouteWithOverlay(s, t sim.NodeID, overlay *vis.Overlay) Outcome {
-	out := Outcome{LongRange: 2}
+	out := Outcome{}
 	c, _, _ := nw.caseOf(s, t)
 	out.Case = c
 	if s == t {
 		out.Result = routing.Result{Path: []sim.NodeID{s}, Reached: true}
 		return out
 	}
+	out.LongRange = 2
 	first := nw.Router.Chew(s, t)
 	if first.Reached {
 		out.Result = first
@@ -269,7 +286,7 @@ func (nw *Network) RouteWithOverlay(s, t sim.NodeID, overlay *vis.Overlay) Outco
 	}
 	out.Waypoints = wps
 	out.Result = routing.Result{
-		Path:     append(append([]sim.NodeID{}, first.Path...), rest.Path[1:]...),
+		Path:     spliceTail(first.Path, rest.Path),
 		Reached:  true,
 		Fallback: first.Fallback || rest.Fallback,
 	}
@@ -303,7 +320,7 @@ func (nw *Network) routeVisibility(s, t sim.NodeID, out Outcome) Outcome {
 	}
 	out.Waypoints = wps
 	out.Result = routing.Result{
-		Path:     append(append([]sim.NodeID{}, first.Path...), rest.Path[1:]...),
+		Path:     spliceTail(first.Path, rest.Path),
 		Reached:  true,
 		Fallback: first.Fallback || rest.Fallback,
 	}
@@ -391,16 +408,20 @@ func (nw *Network) overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool) {
 }
 
 // pointsToNodes converts a geometric waypoint path (endpoints are the given
-// nodes, interior points are node positions) into node IDs.
+// nodes, interior points are node positions) into node IDs. Degenerate paths
+// with fewer than two points (coincident endpoints, grazing geometry) carry
+// no interior waypoints and yield the trivial from→to plan.
 func (nw *Network) pointsToNodes(from, to sim.NodeID, pts []geom.Point) ([]sim.NodeID, bool) {
 	wps := []sim.NodeID{from}
-	for _, p := range pts[1 : len(pts)-1] {
-		v, ok := nw.nodeAt(p)
-		if !ok {
-			return nil, false
-		}
-		if v != wps[len(wps)-1] {
-			wps = append(wps, v)
+	if len(pts) >= 2 {
+		for _, p := range pts[1 : len(pts)-1] {
+			v, ok := nw.nodeAt(p)
+			if !ok {
+				return nil, false
+			}
+			if v != wps[len(wps)-1] {
+				wps = append(wps, v)
+			}
 		}
 	}
 	if to != wps[len(wps)-1] {
@@ -420,6 +441,16 @@ func (nw *Network) globalFallback(s, t sim.NodeID, out Outcome) Outcome {
 		return out
 	}
 	out.Result = routing.Result{Path: path, Reached: true, Fallback: true}
+	return out
+}
+
+// spliceTail concatenates two hop paths that share a junction node, copying
+// into a fresh slice; an empty or single-node tail contributes nothing.
+func spliceTail(head, tail []sim.NodeID) []sim.NodeID {
+	out := append([]sim.NodeID{}, head...)
+	if len(tail) > 1 {
+		out = append(out, tail[1:]...)
+	}
 	return out
 }
 

@@ -51,6 +51,12 @@ func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportRepo
 	if !plan.Reached {
 		return rep, fmt.Errorf("core: no plan for %d->%d", s, t)
 	}
+	if s == t {
+		// A self-query is answered locally: no rounds, no messages of
+		// either class (matching the plan's LongRange of 0).
+		rep.DeliveredSim = true
+		return rep, nil
+	}
 	path := plan.Path
 
 	// The paper's standing assumption: (s, t) ∈ E.
@@ -79,11 +85,11 @@ func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportRepo
 					p := ctx.Pos()
 					ctx.SendLong(env.From, posReply{x: p.X, y: p.Y})
 				case posReply:
-					// Position known: launch the payload along the plan.
+					// Position known: launch the payload along the plan. A
+					// single-node plan with s != t has nowhere to forward to
+					// and must not be counted as delivery at t.
 					if v == s && len(path) > 1 {
 						ctx.SendAdHoc(path[1], dataMsg{path: path[2:], payload: payloadWords})
-					} else if v == s {
-						deliveredAt[v] = true // s == t or single-node path
 					}
 				case dataMsg:
 					if v == t && len(msg.path) == 0 {
@@ -101,7 +107,9 @@ func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportRepo
 		return rep, err
 	}
 	rep.Rounds = nw.Sim.Rounds() - startRounds
-	delivered := deliveredAt[s] || deliveredAt[t]
+	// Only the target's own flag counts as physical delivery; the s == t
+	// case was answered before any message moved.
+	delivered := deliveredAt[t]
 	rep.DeliveredSim = delivered
 	for v := 0; v < nw.G.N(); v++ {
 		after := nw.Sim.Counters(sim.NodeID(v))

@@ -40,6 +40,9 @@ type Options struct {
 	// Quick shrinks instance sizes for benchmarks and smoke tests.
 	Quick bool
 	Seed  int64
+	// Workers sizes the batch engine's worker pool in E15 (<= 0 means
+	// GOMAXPROCS).
+	Workers int
 }
 
 func (o Options) seed() int64 {

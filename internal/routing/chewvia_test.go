@@ -1,0 +1,40 @@
+package routing
+
+import "testing"
+
+// ChewVia edge cases the batch engine hits concurrently: degenerate waypoint
+// lists must not panic and must report sane results.
+func TestChewViaEmptyWaypoints(t *testing.T) {
+	_, r, _ := buildScenario(t, 0.55, 6, 6, 0)
+	res := r.ChewVia(nil)
+	if res.Reached {
+		t.Fatal("empty waypoint list cannot reach anything")
+	}
+	if len(res.Path) != 0 {
+		t.Fatalf("empty waypoint list produced path %v", res.Path)
+	}
+}
+
+func TestChewViaSingleWaypoint(t *testing.T) {
+	g, r, _ := buildScenario(t, 0.55, 6, 6, 0)
+	v := NodeID(g.N() / 2)
+	res := r.ChewVia([]NodeID{v})
+	if !res.Reached {
+		t.Fatal("a single waypoint is already at its destination")
+	}
+	if len(res.Path) != 1 || res.Path[0] != v {
+		t.Fatalf("path = %v, want [%d]", res.Path, v)
+	}
+}
+
+func TestChewViaRepeatedWaypoint(t *testing.T) {
+	g, r, _ := buildScenario(t, 0.55, 6, 6, 0)
+	v := NodeID(g.N() / 3)
+	res := r.ChewVia([]NodeID{v, v, v})
+	if !res.Reached {
+		t.Fatal("repeated waypoint legs are trivially reached")
+	}
+	if len(res.Path) != 1 || res.Path[0] != v {
+		t.Fatalf("path = %v, want [%d]", res.Path, v)
+	}
+}
