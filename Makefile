@@ -14,9 +14,10 @@ test:
 	go test ./...
 
 # The batch engine serves queries from many goroutines over one shared
-# Network; keep its packages race-clean.
+# Network, and the simulator's fault injection must stay deterministic under
+# parallel stepping; keep all three packages race-clean.
 race:
-	go test -race ./internal/core/... ./internal/routing/...
+	go test -race ./internal/core/... ./internal/routing/... ./internal/sim/...
 
 bench:
 	go test -bench=. -benchmem

@@ -87,6 +87,10 @@ func BenchmarkE14Economy(b *testing.B) { benchExperiment(b, expt.E14) }
 // warm engine on the same workload).
 func BenchmarkE15Engine(b *testing.B) { benchExperiment(b, expt.E15) }
 
+// BenchmarkE16Faults runs the fault-injection delivery sweep (loss rates plus
+// crashed nodes, retry/replan transport on the simulator).
+func BenchmarkE16Faults(b *testing.B) { benchExperiment(b, expt.E16) }
+
 // --- batch engine micro-benchmarks ---
 //
 // One op = answering the same 256-query workload (half hot-set repeats, half

@@ -37,6 +37,9 @@ func main() {
 	batch := flag.Bool("batch", false, "answer queries through the concurrent batch engine")
 	workers := flag.Int("workers", 0, "batch engine worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "batch engine plan cache entries (0 = default 4096, negative = disabled)")
+	loss := flag.Float64("loss", 0, "message loss probability per link class; > 0 adds a fault-injected delivery run")
+	crash := flag.Int("crash", 0, "number of crashed nodes to inject into the delivery run")
+	retries := flag.Int("retries", core.DefaultRetries, "per-hop retry budget for fault-injected delivery")
 	flag.Parse()
 
 	sc, err := buildScenario(*scenario, *seed, *n, *holes)
@@ -123,6 +126,68 @@ func main() {
 		fmt.Println("NOTE: max stretch exceeds the overlay bound (degenerate geometry or intersecting hulls)")
 		os.Exit(1)
 	}
+
+	// Fault-injected delivery run: only when requested, so the default output
+	// stays byte-identical to earlier releases.
+	if *loss > 0 || *crash > 0 {
+		runFaultedDelivery(nw, pairs, *loss, *crash, *retries, *seed)
+	}
+}
+
+// runFaultedDelivery installs the seeded fault model and re-answers the query
+// workload as actual payload deliveries on the simulator, reporting how many
+// survive message loss and crashed nodes through retries and replanning.
+func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, retries int, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 7))
+	crashed := make([]sim.NodeID, 0, crash)
+	isCrashed := make(map[sim.NodeID]bool)
+	for len(crashed) < crash && len(crashed) < nw.G.N()/2 {
+		v := sim.NodeID(rng.Intn(nw.G.N()))
+		if !isCrashed[v] {
+			isCrashed[v] = true
+			crashed = append(crashed, v)
+		}
+	}
+	cfg := sim.FaultConfig{AdHocLoss: loss, LongLoss: loss, Seed: uint64(seed) + 7, Crashed: crashed}
+	if err := nw.Sim.SetFaults(cfg); err != nil {
+		log.Fatalf("faults: %v", err)
+	}
+	topt := core.TransportOptions{PayloadWords: 32, Retries: retries, Reliable: true}
+	delivered, attempted, retrans, replans, skipped := 0, 0, 0, 0, 0
+	var failures []string
+	for _, p := range pairs {
+		if isCrashed[p.S] || isCrashed[p.T] {
+			skipped++ // a crashed endpoint cannot take part in a query
+			continue
+		}
+		attempted++
+		rep, err := nw.RouteOnSimOpt(p.S, p.T, topt)
+		if err != nil {
+			if len(failures) < 3 {
+				failures = append(failures, err.Error())
+			}
+			continue
+		}
+		if rep.DeliveredSim {
+			delivered++
+		}
+		retrans += rep.Retransmits
+		replans += rep.Replans
+	}
+	fmt.Printf("\nfault-injected delivery (loss %.3f, %d crashed, %d retries/hop):\n", loss, len(crashed), retries)
+	fmt.Printf("delivered %d/%d (%.1f%%), skipped %d with crashed endpoints\n",
+		delivered, attempted, 100*float64(delivered)/float64(max(attempted, 1)), skipped)
+	fmt.Printf("retransmissions %d, source replans %d\n", retrans, replans)
+	for _, f := range failures {
+		fmt.Printf("failure: %s\n", f)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func buildScenario(kind string, seed int64, n, holes int) (*workload.Scenario, error) {

@@ -100,6 +100,51 @@ func TestEngineLRUEviction(t *testing.T) {
 	}
 }
 
+// TestEngineStatsAggregatesShards pins Stats() against the per-shard
+// counters on a multi-shard cache: every field — hits, misses, evictions,
+// entries — must be the sum over all shards, with more than one shard active.
+func TestEngineStatsAggregatesShards(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	eng := NewEngine(nw, EngineConfig{Workers: 1, CacheSize: 8, Shards: 4})
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 120; i++ {
+		s := sim.NodeID(rng.Intn(nw.G.N()))
+		d := sim.NodeID(rng.Intn(nw.G.N()))
+		eng.Route(s, d)
+		if i%3 == 0 {
+			eng.Route(s, d) // immediate repeat: guaranteed cache hit
+		}
+	}
+
+	var want CacheStats
+	active := 0
+	for i := range eng.shards {
+		sh := &eng.shards[i]
+		sh.mu.Lock()
+		want.Hits += sh.hits
+		want.Misses += sh.misses
+		want.Evictions += sh.evictions
+		want.Entries += len(sh.entries)
+		if sh.hits+sh.misses > 0 {
+			active++
+		}
+		sh.mu.Unlock()
+	}
+	got := eng.Stats()
+	if got != want {
+		t.Errorf("Stats() = %+v, want per-shard sum %+v", got, want)
+	}
+	if active < 2 {
+		t.Fatalf("only %d shard(s) active; the aggregation was not exercised", active)
+	}
+	if got.Hits == 0 || got.Misses == 0 || got.Evictions == 0 {
+		t.Errorf("expected nonzero hits/misses/evictions, got %+v", got)
+	}
+	if got.Entries > 8 {
+		t.Errorf("entries %d exceed total cache bound 8", got.Entries)
+	}
+}
+
 // TestEngineWorkerCounts exercises the pool edge cases: one worker, more
 // workers than queries, empty batch.
 func TestEngineWorkerCounts(t *testing.T) {

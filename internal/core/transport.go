@@ -1,3 +1,20 @@
+// Transport: executing a routing plan as an actual message sequence on the
+// simulator. Two delivery modes share one entry point:
+//
+//   - Lossless (the paper's model): fire-and-forget forwarding. Used whenever
+//     the simulator has no faults installed; its rounds and message counts
+//     are byte-identical to the original transport.
+//   - Reliable: hop-by-hop acknowledgements with a per-hop retransmission
+//     budget and a query-level round deadline. When a hop exhausts its
+//     budget, the stranded holder notifies the source over a long-range link
+//     and the source replans around the dead hop — through the same
+//     planSource path (Network or Engine plan cache) that built the original
+//     plan — then hands the new remaining path back to the holder. Engaged
+//     automatically when fault injection is active, or on request.
+//
+// Payload words never ride a long-range link in either mode: only position
+// queries, failure notices and replanned waypoint lists do.
+
 package core
 
 import (
@@ -16,9 +33,9 @@ type posReply struct{ x, y float64 }
 
 func (posReply) Words() int { return 2 }
 
-// dataMsg is the payload travelling over ad hoc links. It carries the
-// remaining waypoint/path plan, as in Section 3 ("the resulting shortest
-// path is added to the message and used for forwarding").
+// dataMsg is the payload travelling over ad hoc links in the lossless mode.
+// It carries the remaining waypoint/path plan, as in Section 3 ("the
+// resulting shortest path is added to the message and used for forwarding").
 type dataMsg struct {
 	path    []sim.NodeID // remaining nodes to visit, front = next hop
 	payload int          // abstract payload size in words
@@ -27,15 +44,77 @@ type dataMsg struct {
 func (m dataMsg) Words() int               { return m.payload + len(m.path) }
 func (m dataMsg) CarriedIDs() []sim.NodeID { return m.path }
 
+// rdataMsg is the payload hop under the reliable transport: dataMsg plus a
+// per-sender transfer sequence number (for ack matching and duplicate
+// suppression after retransmissions) and the query source's ID, so any holder
+// can reach the source over a long-range link when its next hop stops
+// acknowledging.
+type rdataMsg struct {
+	n       int
+	src     sim.NodeID
+	path    []sim.NodeID
+	payload int
+}
+
+func (m rdataMsg) Words() int               { return m.payload + len(m.path) + 2 }
+func (m rdataMsg) CarriedIDs() []sim.NodeID { return append([]sim.NodeID{m.src}, m.path...) }
+
+// hopAck confirms receipt of transfer n to the previous hop (ad hoc).
+type hopAck struct{ n int }
+
+// nackMsg tells the source its plan died in the field: the sender still holds
+// the payload and the hop toward `dead` exhausted its retransmission budget.
+// Long-range; seq matches the eventual resumeMsg to this holder.
+type nackMsg struct {
+	seq  int
+	dead sim.NodeID
+}
+
+func (nackMsg) Words() int { return 2 }
+
+// resumeMsg hands a replanned remaining path back to a stranded holder
+// (long-range, source → holder). The path excludes the holder itself.
+type resumeMsg struct {
+	seq  int
+	path []sim.NodeID
+}
+
+func (m resumeMsg) Words() int               { return len(m.path) + 2 }
+func (m resumeMsg) CarriedIDs() []sim.NodeID { return m.path }
+
+// TransportOptions tunes one on-simulator delivery.
+type TransportOptions struct {
+	// PayloadWords is the abstract payload size.
+	PayloadWords int
+	// Retries is the per-hop retransmission budget (also used for the
+	// position handshake and failure notices); <= 0 means the default of 3.
+	Retries int
+	// TimeoutRounds is the query-level deadline: past it every timer stops
+	// and the query is reported failed. <= 0 derives a budget from the plan
+	// length and retry budget.
+	TimeoutRounds int
+	// Reliable forces the ack/retry protocol even on a lossless simulator.
+	// By default the reliable protocol engages exactly when the simulator
+	// has fault injection active.
+	Reliable bool
+}
+
+// DefaultRetries is the per-hop retransmission budget when none is given.
+const DefaultRetries = 3
+
 // TransportReport is the measured cost of one on-simulator delivery.
 type TransportReport struct {
 	Outcome
 	Rounds       int // communication rounds from query to delivery
-	AdHocMsgs    int // ad hoc messages moved (== hops)
-	LongMsgs     int // long-range messages (position query/response)
+	AdHocMsgs    int // ad hoc messages moved (== hops in lossless mode)
+	LongMsgs     int // long-range messages (position query/response, nack/resume)
 	AdHocWords   int
 	LongWords    int
 	DeliveredSim bool // the payload physically arrived at t in the simulation
+	// Reliable-mode diagnostics (all zero in lossless mode).
+	Retransmits int // timer-driven resends (data, acks excluded, handshakes included)
+	Replans     int // distinct dead hops the source replanned around
+	DataHops    int // successful payload handovers, replans and retries included
 }
 
 // RouteOnSim executes a routing query as an actual message sequence on the
@@ -43,13 +122,37 @@ type TransportReport struct {
 // link, then the payload travels hop by hop over ad hoc links following the
 // plan computed by the hybrid protocol (which travels with the message).
 // The returned report contains the plan outcome plus the genuinely measured
-// rounds and per-link-class message counts — payload words never touch a
-// long-range link.
+// rounds and per-link-class message counts. If the simulator has fault
+// injection active, the reliable ack/retry/replan protocol is used.
 func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportReport, error) {
-	plan := nw.Route(s, t)
+	return nw.routeOnSim(nw, s, t, TransportOptions{PayloadWords: payloadWords})
+}
+
+// RouteOnSimOpt is RouteOnSim with explicit transport options.
+func (nw *Network) RouteOnSimOpt(s, t sim.NodeID, opt TransportOptions) (*TransportReport, error) {
+	return nw.routeOnSim(nw, s, t, opt)
+}
+
+// RouteOnSim executes the query on the simulator like Network.RouteOnSim but
+// plans (and replans, under faults) through the engine's plan cache.
+func (e *Engine) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportReport, error) {
+	return e.nw.routeOnSim(e, s, t, TransportOptions{PayloadWords: payloadWords})
+}
+
+// RouteOnSimOpt is Engine.RouteOnSim with explicit transport options.
+func (e *Engine) RouteOnSimOpt(s, t sim.NodeID, opt TransportOptions) (*TransportReport, error) {
+	return e.nw.routeOnSim(e, s, t, opt)
+}
+
+func (nw *Network) routeOnSim(planner planSource, s, t sim.NodeID, opt TransportOptions) (*TransportReport, error) {
+	plan := nw.route(planner, s, t, false)
 	rep := &TransportReport{Outcome: plan}
 	if !plan.Reached {
 		return rep, fmt.Errorf("core: no plan for %d->%d", s, t)
+	}
+	if nw.Sim.IsCrashed(s) || nw.Sim.IsCrashed(t) {
+		return rep, fmt.Errorf("core: endpoint crashed (source %d: %v, target %d: %v)",
+			s, nw.Sim.IsCrashed(s), t, nw.Sim.IsCrashed(t))
 	}
 	if s == t {
 		// A self-query is answered locally: no rounds, no messages of
@@ -57,20 +160,53 @@ func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportRepo
 		rep.DeliveredSim = true
 		return rep, nil
 	}
-	path := plan.Path
 
 	// The paper's standing assumption: (s, t) ∈ E.
 	nw.Sim.Teach(s, t)
 
-	startRounds := nw.Sim.Rounds()
-	before := make([]sim.Counters, nw.G.N())
-	for v := 0; v < nw.G.N(); v++ {
-		before[v] = nw.Sim.Counters(sim.NodeID(v))
+	if opt.Reliable || nw.Sim.FaultsActive() {
+		return nw.deliverReliable(planner, s, t, opt, rep)
 	}
+	return nw.deliverLossless(s, t, opt.PayloadWords, rep)
+}
+
+// counterProbe snapshots per-node counters so a delivery can report exactly
+// the messages it moved.
+type counterProbe struct {
+	startRounds int
+	before      []sim.Counters
+}
+
+func (nw *Network) probe() counterProbe {
+	p := counterProbe{startRounds: nw.Sim.Rounds(), before: make([]sim.Counters, nw.G.N())}
+	for v := 0; v < nw.G.N(); v++ {
+		p.before[v] = nw.Sim.Counters(sim.NodeID(v))
+	}
+	return p
+}
+
+func (p counterProbe) fill(nw *Network, rep *TransportReport) {
+	rep.Rounds = nw.Sim.Rounds() - p.startRounds
+	for v := 0; v < nw.G.N(); v++ {
+		after := nw.Sim.Counters(sim.NodeID(v))
+		rep.AdHocMsgs += after.AdHocMsgs - p.before[v].AdHocMsgs
+		rep.LongMsgs += after.LongMsgs - p.before[v].LongMsgs
+		rep.AdHocWords += after.AdHocWords - p.before[v].AdHocWords
+		rep.LongWords += after.LongWords - p.before[v].LongWords
+	}
+}
+
+// deliverLossless is the paper's fire-and-forget transport, unchanged except
+// that a plan exhausting at the wrong node is now recorded and reported as a
+// specific misrouted-plan error instead of a generic non-arrival.
+func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *TransportReport) (*TransportReport, error) {
+	path := rep.Path
+	pr := nw.probe()
 
 	// Per-node flags keep the protocol state race-free under parallel
 	// simulator stepping.
 	deliveredAt := make([]bool, nw.G.N())
+	misroutedAt := make([]bool, nw.G.N())
 	started := make([]bool, nw.G.N())
 	nw.Sim.SetAllProtos(func(v sim.NodeID) sim.Proto {
 		return sim.ProtoFunc(func(ctx *sim.Context, round int, inbox []sim.Envelope) {
@@ -98,6 +234,10 @@ func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportRepo
 					}
 					if len(msg.path) > 0 {
 						ctx.SendAdHoc(msg.path[0], dataMsg{path: msg.path[1:], payload: msg.payload})
+					} else {
+						// Plan exhausted before reaching t: the payload is
+						// stranded here. Record where for the error report.
+						misroutedAt[v] = true
 					}
 				}
 			}
@@ -106,20 +246,317 @@ func (nw *Network) RouteOnSim(s, t sim.NodeID, payloadWords int) (*TransportRepo
 	if _, err := nw.Sim.Run(); err != nil {
 		return rep, err
 	}
-	rep.Rounds = nw.Sim.Rounds() - startRounds
+	pr.fill(nw, rep)
 	// Only the target's own flag counts as physical delivery; the s == t
 	// case was answered before any message moved.
-	delivered := deliveredAt[t]
-	rep.DeliveredSim = delivered
-	for v := 0; v < nw.G.N(); v++ {
-		after := nw.Sim.Counters(sim.NodeID(v))
-		rep.AdHocMsgs += after.AdHocMsgs - before[v].AdHocMsgs
-		rep.LongMsgs += after.LongMsgs - before[v].LongMsgs
-		rep.AdHocWords += after.AdHocWords - before[v].AdHocWords
-		rep.LongWords += after.LongWords - before[v].LongWords
-	}
-	if !delivered {
+	rep.DeliveredSim = deliveredAt[t]
+	if !rep.DeliveredSim {
+		for v := range misroutedAt {
+			if misroutedAt[v] {
+				return rep, fmt.Errorf("core: misrouted plan: remaining path exhausted at node %d before reaching %d", v, t)
+			}
+		}
 		return rep, fmt.Errorf("core: payload did not arrive at %d", t)
 	}
 	return rep, nil
+}
+
+// --- reliable transport ---
+
+// ackWait is the rounds a sender waits before declaring an attempt lost: one
+// round for its message to arrive, one for the answer to come back.
+const ackWait = 2
+
+// rpending is an outstanding transfer awaiting its hop acknowledgement.
+type rpending struct {
+	to       sim.NodeID
+	msg      rdataMsg
+	sentAt   int
+	attempts int
+}
+
+// rstrand is a payload parked at a holder whose next hop died, waiting for a
+// replanned path from the source.
+type rstrand struct {
+	seq      int
+	payload  int
+	sentAt   int
+	attempts int
+	dead     sim.NodeID
+}
+
+// rnode is the per-node reliable-transport state. Each node's state is
+// touched only by its own protocol step, so parallel stepping stays
+// race-free; the driver reads it after the run has quiesced.
+type rnode struct {
+	pends     []*rpending
+	strands   []*rstrand
+	nextN     int
+	seen      map[sim.NodeID]map[int]bool
+	delivered bool
+	misrouted bool
+	hopsIn    int // fresh (non-duplicate) payload receipts
+	retrans   int
+}
+
+// rsourceState is the extra state of the query source.
+type rsourceState struct {
+	posSentAt   int
+	posAttempts int
+	havePos     bool
+	dead        map[sim.NodeID]bool
+	replans     int
+	failure     string
+}
+
+// deliverReliable runs the ack/retry/replan protocol for one query.
+func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport) (*TransportReport, error) {
+	retries := opt.Retries
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	timeout := opt.TimeoutRounds
+	if timeout <= 0 {
+		// Budget: every hop may burn (retries+1) attempts of ackWait+1
+		// rounds, plus handshake, nack/resume round trips and slack for
+		// replanned (longer) paths.
+		timeout = (len(rep.Path)+8)*(ackWait+1)*(retries+1) + 32
+	}
+	pr := nw.probe()
+	deadline := nw.Sim.Rounds() + timeout
+
+	st := make([]rnode, nw.G.N())
+	for i := range st {
+		st[i].seen = make(map[sim.NodeID]map[int]bool)
+	}
+	src := &rsourceState{posSentAt: -1, dead: make(map[sim.NodeID]bool)}
+
+	// replanFrom computes a fresh hop path holder→t around the known-dead
+	// nodes: first through the hybrid planner (Network or Engine plan
+	// cache); if that plan crosses a dead node, through an LDel² shortest
+	// path with the dead set removed.
+	replanFrom := func(holder sim.NodeID) ([]sim.NodeID, bool) {
+		out := nw.route(planner, holder, t, false)
+		if out.Reached && !pathHitsAny(out.Path, src.dead) {
+			return out.Path, true
+		}
+		if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, src.dead); ok {
+			return p, true
+		}
+		return nil, false
+	}
+
+	// sendData starts (and registers) one transfer from v to `to`.
+	sendData := func(ctx *sim.Context, me *rnode, round int, to sim.NodeID, path []sim.NodeID, payload int) {
+		m := rdataMsg{n: me.nextN, src: s, path: path, payload: payload}
+		me.nextN++
+		ctx.SendAdHoc(to, m)
+		me.pends = append(me.pends, &rpending{to: to, msg: m, sentAt: round, attempts: 1})
+	}
+
+	nw.Sim.SetAllProtos(func(v sim.NodeID) sim.Proto {
+		return sim.ProtoFunc(func(ctx *sim.Context, round int, inbox []sim.Envelope) {
+			me := &st[v]
+			if v == s && src.posSentAt < 0 && src.failure == "" {
+				src.posSentAt = round
+				src.posAttempts = 1
+				ctx.SendLong(t, posQuery{})
+			}
+			for _, env := range inbox {
+				switch msg := env.Msg.(type) {
+				case posQuery:
+					p := ctx.Pos()
+					ctx.SendLong(env.From, posReply{x: p.X, y: p.Y})
+				case posReply:
+					if v == s && !src.havePos {
+						src.havePos = true
+						if len(rep.Path) > 1 {
+							sendData(ctx, me, round, rep.Path[1], rep.Path[2:], opt.PayloadWords)
+						} else {
+							// A plan of one node with s != t cannot deliver.
+							me.misrouted = true
+						}
+					}
+				case rdataMsg:
+					// Always acknowledge — the previous hop may be
+					// retransmitting because our earlier ack was lost.
+					ctx.SendAdHoc(env.From, hopAck{n: msg.n})
+					if me.seen[env.From][msg.n] {
+						continue
+					}
+					if me.seen[env.From] == nil {
+						me.seen[env.From] = make(map[int]bool)
+					}
+					me.seen[env.From][msg.n] = true
+					me.hopsIn++
+					switch {
+					case v == t && len(msg.path) == 0:
+						me.delivered = true
+					case len(msg.path) == 0:
+						me.misrouted = true
+					default:
+						sendData(ctx, me, round, msg.path[0], msg.path[1:], msg.payload)
+					}
+				case hopAck:
+					for i, p := range me.pends {
+						if p.to == env.From && p.msg.n == msg.n {
+							me.pends = append(me.pends[:i], me.pends[i+1:]...)
+							break
+						}
+					}
+				case nackMsg:
+					if v != s || !src.havePos || src.failure != "" {
+						continue
+					}
+					if !src.dead[msg.dead] {
+						src.dead[msg.dead] = true
+						src.replans++
+					}
+					full, ok := replanFrom(env.From)
+					if !ok || len(full) < 2 {
+						src.failure = fmt.Sprintf("no path from %d to %d around dead nodes %v", env.From, t, deadList(src.dead))
+						continue
+					}
+					ctx.SendLong(env.From, resumeMsg{seq: msg.seq, path: full[1:]})
+				case resumeMsg:
+					for i, sd := range me.strands {
+						if sd.seq != msg.seq {
+							continue
+						}
+						me.strands = append(me.strands[:i], me.strands[i+1:]...)
+						if len(msg.path) == 0 {
+							me.misrouted = true
+						} else {
+							sendData(ctx, me, round, msg.path[0], msg.path[1:], sd.payload)
+						}
+						break
+					}
+				}
+			}
+			if round >= deadline {
+				return // deadline passed: all timers stop, the run quiesces
+			}
+			// Position handshake timer (source only).
+			if v == s && !src.havePos && src.failure == "" {
+				if round >= src.posSentAt+ackWait {
+					if src.posAttempts > retries {
+						src.failure = fmt.Sprintf("position query to %d unanswered after %d attempts", t, src.posAttempts)
+					} else {
+						src.posAttempts++
+						src.posSentAt = round
+						me.retrans++
+						ctx.SendLong(t, posQuery{})
+					}
+				}
+				if src.failure == "" {
+					ctx.KeepAlive()
+				}
+			}
+			// Hop retransmission timers.
+			for i := 0; i < len(me.pends); {
+				p := me.pends[i]
+				if round < p.sentAt+ackWait {
+					i++
+					continue
+				}
+				if p.attempts <= retries {
+					p.attempts++
+					p.sentAt = round
+					me.retrans++
+					ctx.SendAdHoc(p.to, p.msg)
+					i++
+					continue
+				}
+				// Budget exhausted: the hop is dead. The source replans
+				// locally; any other holder strands the payload and raises
+				// a nack.
+				me.pends = append(me.pends[:i], me.pends[i+1:]...)
+				if v == s {
+					if !src.dead[p.to] {
+						src.dead[p.to] = true
+						src.replans++
+					}
+					full, ok := replanFrom(s)
+					if !ok || len(full) < 2 {
+						src.failure = fmt.Sprintf("no path from %d to %d around dead nodes %v", s, t, deadList(src.dead))
+						continue
+					}
+					sendData(ctx, me, round, full[1], full[2:], p.msg.payload)
+				} else {
+					me.nextN++
+					sd := &rstrand{seq: me.nextN, payload: p.msg.payload, sentAt: round, attempts: 1, dead: p.to}
+					me.strands = append(me.strands, sd)
+					me.retrans++
+					ctx.SendLong(s, nackMsg{seq: sd.seq, dead: p.to})
+				}
+			}
+			// Nack retransmission timers (waiting for a resume).
+			for i := 0; i < len(me.strands); {
+				sd := me.strands[i]
+				if round < sd.sentAt+ackWait {
+					i++
+					continue
+				}
+				if sd.attempts > retries {
+					// The source never answered: give up this payload.
+					me.strands = append(me.strands[:i], me.strands[i+1:]...)
+					continue
+				}
+				sd.attempts++
+				sd.sentAt = round
+				me.retrans++
+				ctx.SendLong(s, nackMsg{seq: sd.seq, dead: sd.dead})
+				i++
+			}
+			if len(me.pends) > 0 || len(me.strands) > 0 {
+				ctx.KeepAlive()
+			}
+		})
+	})
+	if _, err := nw.Sim.Run(); err != nil {
+		return rep, err
+	}
+	pr.fill(nw, rep)
+	rep.DeliveredSim = st[t].delivered
+	rep.Replans = src.replans
+	for v := range st {
+		rep.Retransmits += st[v].retrans
+		rep.DataHops += st[v].hopsIn
+	}
+	if rep.DeliveredSim {
+		return rep, nil
+	}
+	for v := range st {
+		if st[v].misrouted {
+			return rep, fmt.Errorf("core: misrouted plan: remaining path exhausted at node %d before reaching %d", v, t)
+		}
+	}
+	if src.failure != "" {
+		return rep, fmt.Errorf("core: delivery %d->%d failed: %s", s, t, src.failure)
+	}
+	return rep, fmt.Errorf("core: payload did not arrive at %d within %d rounds (retries %d)", t, timeout, retries)
+}
+
+// pathHitsAny reports whether any node of path is in the set.
+func pathHitsAny(path []sim.NodeID, set map[sim.NodeID]bool) bool {
+	for _, v := range path {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// deadList renders a dead set deterministically (sorted) for error messages.
+func deadList(set map[sim.NodeID]bool) []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort, tiny sets
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }

@@ -11,6 +11,21 @@ import (
 // the planar graph, including both endpoints, plus its length; ok is false
 // when t is unreachable.
 func (g *PlanarGraph) ShortestPath(s, t udg.NodeID) ([]udg.NodeID, float64, bool) {
+	return g.shortestPath(s, t, nil)
+}
+
+// ShortestPathAvoiding is ShortestPath restricted to the subgraph without the
+// nodes in avoid (interior vertices only — s and t themselves are always
+// allowed). The reliable transport uses it to replan payload delivery around
+// hops that stopped acknowledging.
+func (g *PlanarGraph) ShortestPathAvoiding(s, t udg.NodeID, avoid map[udg.NodeID]bool) ([]udg.NodeID, float64, bool) {
+	if len(avoid) == 0 {
+		return g.shortestPath(s, t, nil)
+	}
+	return g.shortestPath(s, t, avoid)
+}
+
+func (g *PlanarGraph) shortestPath(s, t udg.NodeID, avoid map[udg.NodeID]bool) ([]udg.NodeID, float64, bool) {
 	n := g.N()
 	dist := make([]float64, n)
 	prev := make([]udg.NodeID, n)
@@ -30,6 +45,9 @@ func (g *PlanarGraph) ShortestPath(s, t udg.NodeID) ([]udg.NodeID, float64, bool
 		}
 		pv := g.Point(item.v)
 		for _, w := range g.adj[item.v] {
+			if avoid[w] && w != t {
+				continue
+			}
 			nd := item.d + pv.Dist(g.Point(w))
 			if nd < dist[w] {
 				dist[w] = nd

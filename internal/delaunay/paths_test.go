@@ -1,0 +1,58 @@
+package delaunay
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/udg"
+)
+
+// TestShortestPathAvoiding checks that avoided interior nodes never appear on
+// the path, that s/t themselves are exempt from the avoid set, and that an
+// empty avoid set reproduces ShortestPath exactly.
+func TestShortestPathAvoiding(t *testing.T) {
+	g := gridWithHole(0.55, 7, 7, 1.6)
+	if !g.Connected() {
+		t.Skip("UDG disconnected")
+	}
+	ld := LDelK(g, 2)
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		s := udg.NodeID(rng.Intn(g.N()))
+		d := udg.NodeID(rng.Intn(g.N()))
+		if s == d {
+			continue
+		}
+		base, baseLen, ok := ld.ShortestPath(s, d)
+		if !ok {
+			t.Fatal("connected LDel2")
+		}
+		p2, l2, ok := ld.ShortestPathAvoiding(s, d, nil)
+		if !ok || l2 != baseLen || len(p2) != len(base) {
+			t.Fatalf("nil avoid set must reproduce ShortestPath (%v/%v vs %v/%v)", p2, l2, base, baseLen)
+		}
+		if len(base) < 3 {
+			continue
+		}
+		// Knock out an interior node of the shortest path; the detour must
+		// avoid it and can only get longer.
+		avoid := map[udg.NodeID]bool{base[len(base)/2]: true}
+		detour, dLen, ok := ld.ShortestPathAvoiding(s, d, avoid)
+		if !ok {
+			continue // the avoided node disconnected the pair — legal
+		}
+		for _, v := range detour[1 : len(detour)-1] {
+			if avoid[v] {
+				t.Fatalf("detour %v passes through avoided node %d", detour, v)
+			}
+		}
+		if dLen < baseLen-1e-9 {
+			t.Fatalf("detour (%v) shorter than unrestricted shortest path (%v)", dLen, baseLen)
+		}
+	}
+	// s and t stay reachable even when listed in avoid.
+	p, _, ok := ld.ShortestPathAvoiding(0, udg.NodeID(g.N()-1), map[udg.NodeID]bool{0: true, udg.NodeID(g.N() - 1): true})
+	if !ok || p[0] != 0 || p[len(p)-1] != udg.NodeID(g.N()-1) {
+		t.Fatalf("endpoints must be exempt from the avoid set (got %v ok=%v)", p, ok)
+	}
+}

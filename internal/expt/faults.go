@@ -1,0 +1,198 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/stats"
+)
+
+// faultRow is one sweep point of E16.
+type faultRow struct {
+	label   string
+	loss    float64
+	crashed int // nodes crashed in addition to the message loss
+}
+
+// e16Reports routes all pairs on a freshly preprocessed network with the
+// given fault configuration installed and returns the per-query transport
+// reports (nil entries mark failed queries).
+func e16Reports(opt Options, n int, pairs [][2]sim.NodeID, loss float64, crashed []sim.NodeID) ([]*core.TransportReport, error) {
+	nw, _, err := preprocessScenario(opt.seed(), n)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.FaultConfig{AdHocLoss: loss, LongLoss: loss, Seed: uint64(opt.seed()) + 16, Crashed: crashed}
+	if err := nw.Sim.SetFaults(cfg); err != nil {
+		return nil, err
+	}
+	reps := make([]*core.TransportReport, len(pairs))
+	for i, p := range pairs {
+		rep, err := nw.RouteOnSim(p[0], p[1], 32)
+		if err != nil {
+			continue // a failed query stays nil and counts against delivery
+		}
+		reps[i] = rep
+	}
+	return reps, nil
+}
+
+// E16 measures end-to-end payload delivery under the fault model: a loss
+// sweep over both link classes plus a crashed-node row. Delivery must stay
+// >= 99% through retransmission and source replanning for loss rates up to
+// 5%, the zero-loss row must be byte-identical to a network without any
+// fault config installed, and the whole sweep must reproduce from the seed.
+func E16(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "E16",
+		Title: "Fault injection: delivery rate and stretch vs. loss",
+		Claim: "hop-by-hop acks with per-hop retries and source replanning sustain >= 99% delivery up to 5% message loss and around crashed nodes, at bounded stretch and round overhead; loss 0 is byte-identical to the lossless transport",
+	}
+	n, q := 420, 48
+	if opt.Quick {
+		n, q = 240, 20
+	}
+
+	// One preprocessing pass just to learn the node count and draw the query
+	// set and crash set all sweep rows share.
+	nw0, _, err := preprocessScenario(opt.seed(), n)
+	if err != nil {
+		return nil, err
+	}
+	nodes := nw0.G.N()
+	rng := rand.New(rand.NewSource(opt.seed() + 16))
+	crashed := make([]sim.NodeID, 0, nodes/50+1)
+	isCrashed := make(map[sim.NodeID]bool)
+	for len(crashed) < cap(crashed) {
+		v := sim.NodeID(rng.Intn(nodes))
+		if !isCrashed[v] {
+			isCrashed[v] = true
+			crashed = append(crashed, v)
+		}
+	}
+	// Query endpoints avoid the crash set so every row answers the same pairs.
+	pairs := make([][2]sim.NodeID, 0, q)
+	for len(pairs) < q {
+		p := samplePairs(rng, nodes, 1)[0]
+		if !isCrashed[p[0]] && !isCrashed[p[1]] {
+			pairs = append(pairs, p)
+		}
+	}
+
+	// Lossless baseline: no fault config installed at all.
+	base := make([]*core.TransportReport, len(pairs))
+	for i, p := range pairs {
+		rep, err := nw0.RouteOnSim(p[0], p[1], 32)
+		if err != nil {
+			return nil, fmt.Errorf("E16 baseline %d->%d: %w", p[0], p[1], err)
+		}
+		base[i] = rep
+	}
+
+	rows := []faultRow{
+		{"loss 0%", 0, 0},
+		{"loss 1%", 0.01, 0},
+		{"loss 2%", 0.02, 0},
+		{"loss 5%", 0.05, 0},
+		{fmt.Sprintf("loss 2%% + %d crashed", len(crashed)), 0.02, len(crashed)},
+	}
+	res.Table = stats.NewTable("faults", "delivered", "rate", "mean stretch", "mean rounds", "retransmits", "replans")
+
+	lossOK, zeroIdentical := true, true
+	var crashReplans int
+	for _, row := range rows {
+		var cs []sim.NodeID
+		if row.crashed > 0 {
+			cs = crashed
+		}
+		reps, err := e16Reports(opt, n, pairs, row.loss, cs)
+		if err != nil {
+			return nil, err
+		}
+		delivered, retrans, replans := 0, 0, 0
+		var stretchSum, roundSum float64
+		stretchN := 0
+		for i, rep := range reps {
+			if rep == nil || !rep.DeliveredSim {
+				continue
+			}
+			delivered++
+			retrans += rep.Retransmits
+			replans += rep.Replans
+			roundSum += float64(rep.Rounds)
+			if st, ok := stretchOf(nw0.G, pathLen(nw0.G, rep.Path), pairs[i][0], pairs[i][1]); ok {
+				stretchSum += st
+				stretchN++
+			}
+		}
+		rate := float64(delivered) / float64(len(pairs))
+		res.Table.AddRow(row.label, fmt.Sprintf("%d/%d", delivered, len(pairs)),
+			fmt.Sprintf("%.3f", rate),
+			fmt.Sprintf("%.3f", stretchSum/float64(max(stretchN, 1))),
+			fmt.Sprintf("%.1f", roundSum/float64(max(delivered, 1))),
+			retrans, replans)
+		if row.loss == 0 && row.crashed == 0 {
+			for i, rep := range reps {
+				if rep == nil || !transportReportsEqual(base[i], rep) {
+					zeroIdentical = false
+					break
+				}
+			}
+		}
+		if rate < 0.99 {
+			lossOK = false
+		}
+		if row.crashed > 0 {
+			crashReplans = replans
+		}
+	}
+
+	// Reproducibility: the harshest loss row again, on another fresh network.
+	repA, err := e16Reports(opt, n, pairs, 0.05, nil)
+	if err != nil {
+		return nil, err
+	}
+	repB, err := e16Reports(opt, n, pairs, 0.05, nil)
+	if err != nil {
+		return nil, err
+	}
+	reproducible := true
+	for i := range repA {
+		a, b := repA[i], repB[i]
+		if (a == nil) != (b == nil) || (a != nil && !transportReportsEqual(a, b)) {
+			reproducible = false
+			break
+		}
+	}
+
+	res.note("zero-loss row byte-identical to no-fault-config baseline: %v", zeroIdentical)
+	res.note("5%% loss sweep reproduces bit-exactly from seed %d: %v", opt.seed(), reproducible)
+	res.note("crash row replans: %d (crashed nodes excluded from query endpoints)", crashReplans)
+	res.Pass = zeroIdentical && lossOK && reproducible
+	return res, nil
+}
+
+// transportReportsEqual compares every observable of two transport reports.
+func transportReportsEqual(a, b *core.TransportReport) bool {
+	if a.Rounds != b.Rounds || a.AdHocMsgs != b.AdHocMsgs || a.LongMsgs != b.LongMsgs ||
+		a.AdHocWords != b.AdHocWords || a.LongWords != b.LongWords ||
+		a.DeliveredSim != b.DeliveredSim || a.Retransmits != b.Retransmits ||
+		a.Replans != b.Replans || a.DataHops != b.DataHops || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

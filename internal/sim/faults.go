@@ -1,0 +1,184 @@
+// Fault injection: a deterministic, seeded fault model for the simulator.
+// The paper's communication model is lossless — every message initiated in
+// round i arrives in round i+1 — but the production north-star needs delivery
+// that degrades gracefully, so the simulator can optionally drop messages and
+// crash nodes. Every drop decision is a pure function of (seed, sender,
+// receiver, per-sender send sequence), so a run is bit-reproducible from its
+// seed in both sequential and parallel stepping modes: no shared RNG is
+// consumed in goroutine order.
+
+package sim
+
+import "fmt"
+
+// FaultConfig describes the injected faults. The zero value is the lossless
+// model (no faults); installing it via SetFaults disables fault injection
+// entirely, restoring behavior byte-identical to a simulator that never had
+// faults configured.
+type FaultConfig struct {
+	// AdHocLoss is the probability that a message sent over an ad hoc (WiFi)
+	// link is lost in transit. Must be in [0, 1].
+	AdHocLoss float64
+	// LongLoss is the probability that a long-range message is lost. Must be
+	// in [0, 1].
+	LongLoss float64
+	// Seed drives the deterministic drop stream. Two runs with the same seed,
+	// the same fault probabilities and the same per-node send sequences drop
+	// exactly the same messages.
+	Seed uint64
+	// Crashed lists nodes that have failed: they never take protocol steps
+	// (so they never forward, reply or ack) and messages addressed to them
+	// vanish. Crashed nodes still occupy their position in the UDG.
+	Crashed []NodeID
+}
+
+// active reports whether the configuration injects any fault at all.
+func (f FaultConfig) active() bool {
+	return f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0
+}
+
+// DropCounters aggregates messages lost to fault injection, attributed to the
+// sender, split by link class.
+type DropCounters struct {
+	AdHocDropped int
+	LongDropped  int
+}
+
+// Total returns all dropped messages.
+func (d DropCounters) Total() int { return d.AdHocDropped + d.LongDropped }
+
+// faultState is the runtime form of a FaultConfig. All mutable slices are
+// indexed by sender and each sender is stepped by exactly one goroutine, so
+// parallel stepping mutates disjoint entries (same discipline as Counters).
+type faultState struct {
+	adHocLoss float64
+	longLoss  float64
+	seed      uint64
+	crashed   []bool
+	// sendSeq is the per-sender send sequence feeding the drop hash; it
+	// advances on every send (either link class, dropped or not) so the drop
+	// stream of one link class cannot perturb the other's decisions.
+	sendSeq []uint64
+	drops   []DropCounters
+}
+
+// SetFaults installs (or, with an inactive config, removes) the fault model.
+// It may be called between Run invocations — typically after the lossless
+// preprocessing pipeline has finished and before transport experiments start.
+// Installing a config resets the drop stream: the next send of every node
+// uses sequence number zero again.
+func (s *Sim) SetFaults(cfg FaultConfig) error {
+	if cfg.AdHocLoss < 0 || cfg.AdHocLoss > 1 {
+		return fmt.Errorf("sim: AdHocLoss %v outside [0, 1]", cfg.AdHocLoss)
+	}
+	if cfg.LongLoss < 0 || cfg.LongLoss > 1 {
+		return fmt.Errorf("sim: LongLoss %v outside [0, 1]", cfg.LongLoss)
+	}
+	for _, v := range cfg.Crashed {
+		if v < 0 || int(v) >= s.g.N() {
+			return fmt.Errorf("sim: crashed node %d out of range [0, %d)", v, s.g.N())
+		}
+	}
+	if !cfg.active() {
+		s.faults = nil
+		return nil
+	}
+	f := &faultState{
+		adHocLoss: cfg.AdHocLoss,
+		longLoss:  cfg.LongLoss,
+		seed:      cfg.Seed,
+		crashed:   make([]bool, s.g.N()),
+		sendSeq:   make([]uint64, s.g.N()),
+		drops:     make([]DropCounters, s.g.N()),
+	}
+	for _, v := range cfg.Crashed {
+		f.crashed[v] = true
+	}
+	s.faults = f
+	return nil
+}
+
+// FaultsActive reports whether any fault injection is currently installed.
+func (s *Sim) FaultsActive() bool { return s.faults != nil }
+
+// IsCrashed reports whether v is a crashed node under the installed faults.
+func (s *Sim) IsCrashed(v NodeID) bool {
+	return s.faults != nil && s.faults.crashed[v]
+}
+
+// Dropped sums messages lost to fault injection across all senders.
+func (s *Sim) Dropped() DropCounters {
+	var t DropCounters
+	if s.faults == nil {
+		return t
+	}
+	for _, d := range s.faults.drops {
+		t.AdHocDropped += d.AdHocDropped
+		t.LongDropped += d.LongDropped
+	}
+	return t
+}
+
+// DroppedOf returns the drop counters attributed to sender v.
+func (s *Sim) DroppedOf(v NodeID) DropCounters {
+	if s.faults == nil {
+		return DropCounters{}
+	}
+	return s.faults.drops[v]
+}
+
+// dropSend decides the fate of one send from `from` to `to` and records a
+// drop when it loses. It must only be called when faults are installed. The
+// decision hashes (seed, from, to, seq) so it is independent of goroutine
+// scheduling and of the fate of every other link's messages.
+func (f *faultState) dropSend(from, to NodeID, adhoc bool) bool {
+	seq := f.sendSeq[from]
+	f.sendSeq[from]++
+	if f.crashed[to] || f.crashed[from] {
+		// Messages to or from a crashed node never arrive. (A crashed node
+		// is never stepped, so the sender case only defends protocol code
+		// that bypasses stepping.)
+		f.count(from, adhoc)
+		return true
+	}
+	p := f.adHocLoss
+	if !adhoc {
+		p = f.longLoss
+	}
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 || faultRoll(f.seed, from, to, seq) < p {
+		f.count(from, adhoc)
+		return true
+	}
+	return false
+}
+
+func (f *faultState) count(from NodeID, adhoc bool) {
+	if adhoc {
+		f.drops[from].AdHocDropped++
+	} else {
+		f.drops[from].LongDropped++
+	}
+}
+
+// faultRoll maps (seed, from, to, seq) to a uniform float in [0, 1) via
+// splitmix64 finalization rounds.
+func faultRoll(seed uint64, from, to NodeID, seq uint64) float64 {
+	h := splitmix64(seed ^ 0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(from))
+	h = splitmix64(h ^ uint64(to))
+	h = splitmix64(h ^ seq)
+	return float64(h>>11) / (1 << 53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+// floodProto is a protocol where node 0 sends one message per round to its
+// right neighbour for `sends` rounds; used to drive a deterministic stream.
+func floodProto(s *Sim, sends int) {
+	s.SetProto(0, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		if round < sends {
+			ctx.SendAdHoc(1, "ping")
+			ctx.KeepAlive() // consecutive drops must not quiesce the stream
+		}
+	}))
+	received := 0
+	s.SetProto(1, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		received += len(inbox)
+	}))
+}
+
+func TestSetFaultsValidation(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	if err := s.SetFaults(FaultConfig{AdHocLoss: -0.1}); err == nil {
+		t.Error("negative AdHocLoss must be rejected")
+	}
+	if err := s.SetFaults(FaultConfig{LongLoss: 1.5}); err == nil {
+		t.Error("LongLoss > 1 must be rejected")
+	}
+	if err := s.SetFaults(FaultConfig{Crashed: []NodeID{9}}); err == nil {
+		t.Error("out-of-range crashed node must be rejected")
+	}
+	if err := s.SetFaults(FaultConfig{}); err != nil {
+		t.Errorf("zero config must be accepted: %v", err)
+	}
+	if s.FaultsActive() {
+		t.Error("zero config must leave faults inactive")
+	}
+}
+
+// TestZeroLossIsLossless pins the acceptance criterion: a fault config with
+// zero probabilities and no crashed nodes is indistinguishable from no fault
+// config at all.
+func TestZeroLossIsLossless(t *testing.T) {
+	run := func(cfgFaults *FaultConfig) (int, Counters) {
+		s := New(lineGraph(5, 0.9), Config{Faults: cfgFaults})
+		floodProto(s, 10)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Rounds(), s.TotalCounters()
+	}
+	r0, c0 := run(nil)
+	r1, c1 := run(&FaultConfig{AdHocLoss: 0, LongLoss: 0, Seed: 42})
+	if r0 != r1 || c0 != c1 {
+		t.Fatalf("zero-loss faults changed the run: rounds %d vs %d, counters %+v vs %+v", r0, r1, c0, c1)
+	}
+}
+
+// TestLossDropsDeterministically checks that losses actually occur, are
+// attributed to the sender, and reproduce exactly from the seed.
+func TestLossDropsDeterministically(t *testing.T) {
+	run := func(seed uint64) (DropCounters, Counters) {
+		s := New(lineGraph(3, 0.9), Config{})
+		if err := s.SetFaults(FaultConfig{AdHocLoss: 0.5, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		floodProto(s, 200)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Dropped(), s.Counters(0)
+	}
+	d1, c1 := run(7)
+	d2, c2 := run(7)
+	if d1 != d2 || c1 != c2 {
+		t.Fatalf("same seed must reproduce drops exactly: %+v/%+v vs %+v/%+v", d1, c1, d2, c2)
+	}
+	if d1.AdHocDropped == 0 || d1.AdHocDropped == 200 {
+		t.Fatalf("p=0.5 over 200 sends should drop some but not all: %+v", d1)
+	}
+	// All sends are still counted against the sender.
+	if c1.AdHocMsgs != 200 {
+		t.Fatalf("sender counters must include dropped sends: %+v", c1)
+	}
+	d3, _ := run(8)
+	if d3 == d1 {
+		t.Logf("different seeds gave identical drop totals (possible but unlikely): %+v", d1)
+	}
+}
+
+// TestCrashedNodesAreSilent checks that crashed nodes neither step nor
+// receive: a message into a crashed node vanishes and the node sends nothing.
+func TestCrashedNodesAreSilent(t *testing.T) {
+	s := New(lineGraph(3, 0.9), Config{})
+	if err := s.SetFaults(FaultConfig{Crashed: []NodeID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsCrashed(1) || s.IsCrashed(0) {
+		t.Fatal("IsCrashed must reflect the config")
+	}
+	got := 0
+	s.SetProto(0, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		if round == 0 {
+			ctx.SendAdHoc(1, "hello")
+		}
+	}))
+	s.SetProto(1, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		ctx.SendAdHoc(2, "forward") // must never run
+	}))
+	s.SetProto(2, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		got += len(inbox)
+	}))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("crashed node forwarded %d messages", got)
+	}
+	if s.Dropped().AdHocDropped != 1 {
+		t.Fatalf("send into crashed node must count as dropped: %+v", s.Dropped())
+	}
+	if s.Counters(1).Total() != 0 {
+		t.Fatalf("crashed node must send nothing: %+v", s.Counters(1))
+	}
+}
+
+// TestKeepAliveDefersQuiescence checks that a node waiting on a timer keeps
+// the run going through message-free rounds, and that dropping the keep-alive
+// lets it quiesce.
+func TestKeepAliveDefersQuiescence(t *testing.T) {
+	s := New(lineGraph(2, 0.9), Config{})
+	fired := false
+	s.SetProto(0, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		switch {
+		case round < 5:
+			ctx.KeepAlive() // silent rounds 0-4
+		case round == 5:
+			ctx.SendAdHoc(1, "late")
+			fired = true
+		}
+	}))
+	rounds, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("run quiesced before the timer fired")
+	}
+	if rounds < 6 {
+		t.Fatalf("run ended after %d rounds, before the round-5 send", rounds)
+	}
+}
+
+// TestParallelFaultDeterminism runs an all-to-neighbour gossip over a graph
+// large enough to engage parallel stepping and checks drops and counters are
+// bit-identical to the sequential mode (and race-clean under -race).
+func TestParallelFaultDeterminism(t *testing.T) {
+	const n = 3 * parallelThreshold
+	run := func(parallel bool) (DropCounters, Counters) {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(float64(i%16)*0.7, float64(i/16)*0.7)
+		}
+		g := udg.Build(pts, 1)
+		s := New(g, Config{Parallel: parallel})
+		if err := s.SetFaults(FaultConfig{AdHocLoss: 0.3, LongLoss: 0.2, Seed: 11, Crashed: []NodeID{5, 40}}); err != nil {
+			t.Fatal(err)
+		}
+		s.SetAllProtos(func(v NodeID) Proto {
+			return ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+				if round < 6 {
+					for _, w := range ctx.Neighbors() {
+						ctx.SendAdHoc(w, "gossip")
+					}
+					ctx.KeepAlive()
+				}
+			})
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Dropped(), s.TotalCounters()
+	}
+	dSeq, cSeq := run(false)
+	dPar, cPar := run(true)
+	if dSeq != dPar || cSeq != cPar {
+		t.Fatalf("parallel faults diverged from sequential: %+v/%+v vs %+v/%+v", dSeq, cSeq, dPar, cPar)
+	}
+	if dSeq.Total() == 0 {
+		t.Fatal("expected drops under 30% loss")
+	}
+}

@@ -90,6 +90,10 @@ type Config struct {
 	// merging per-worker outboxes in node-ID order, so results are
 	// bit-identical to the sequential mode.
 	Parallel bool
+	// Faults optionally installs the fault-injection model at construction;
+	// see SetFaults. Nil (or an all-zero config) means lossless delivery,
+	// byte-identical to a simulator without fault support.
+	Faults *FaultConfig
 }
 
 // Sim is a synchronous message-passing simulation over a unit disk graph.
@@ -108,6 +112,7 @@ type Sim struct {
 	pending  [][]Envelope // messages to deliver next round, per destination
 	nextSent int          // messages enqueued during the current round
 	err      error
+	faults   *faultState // nil: lossless (the paper's model)
 }
 
 // New creates a simulation over the given UDG. Protocols are attached with
@@ -128,6 +133,11 @@ func New(g *udg.Graph, cfg Config) *Sim {
 		s.knowledge[v] = make(map[NodeID]bool, g.Degree(NodeID(v))+2)
 		for _, w := range g.Neighbors(NodeID(v)) {
 			s.knowledge[v][w] = true
+		}
+	}
+	if cfg.Faults != nil {
+		if err := s.SetFaults(*cfg.Faults); err != nil {
+			panic(err) // constructor misuse: invalid probabilities or IDs
 		}
 	}
 	return s
@@ -227,7 +237,8 @@ func (s *Sim) Run() (int, error) {
 
 // step executes one synchronous round: deliver everything sent last round,
 // then invoke every protocol once. It reports whether any message was
-// delivered or sent.
+// delivered or sent, or whether some node kept the round alive via
+// Context.KeepAlive (a retransmission timer still pending).
 func (s *Sim) step() (bool, error) {
 	inboxes := s.pending
 	s.pending = make([][]Envelope, s.g.N())
@@ -238,13 +249,19 @@ func (s *Sim) step() (bool, error) {
 		delivered += len(inbox)
 	}
 
+	alive := false
 	if s.cfg.Parallel && s.g.N() >= parallelThreshold {
-		if err := s.stepParallel(inboxes); err != nil {
+		kept, err := s.stepParallel(inboxes)
+		if err != nil {
 			return false, err
 		}
+		alive = kept
 	} else {
 		ctx := Context{sim: s}
 		for v := 0; v < s.g.N(); v++ {
+			if s.isCrashed(NodeID(v)) {
+				continue
+			}
 			s.ingestKnowledge(NodeID(v), inboxes[v])
 			if s.protos[v] == nil {
 				continue
@@ -255,9 +272,15 @@ func (s *Sim) step() (bool, error) {
 				return false, s.err
 			}
 		}
+		alive = ctx.keep
 	}
 	s.rounds++
-	return delivered > 0 || s.nextSent > 0, nil
+	return delivered > 0 || s.nextSent > 0 || alive, nil
+}
+
+// isCrashed reports whether v is crashed under the installed fault model.
+func (s *Sim) isCrashed(v NodeID) bool {
+	return s.faults != nil && s.faults.crashed[v]
 }
 
 // ingestKnowledge applies ID-introduction for one receiver: it learns the
@@ -289,7 +312,7 @@ type stagedMsg struct {
 // counters, protocol state) is touched by exactly one goroutine. Staged
 // sends are merged in shard order afterwards, which reproduces the
 // sequential delivery order exactly.
-func (s *Sim) stepParallel(inboxes [][]Envelope) error {
+func (s *Sim) stepParallel(inboxes [][]Envelope) (bool, error) {
 	n := s.g.N()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -297,6 +320,7 @@ func (s *Sim) stepParallel(inboxes [][]Envelope) error {
 	}
 	stages := make([][]stagedMsg, workers)
 	errs := make([]error, workers)
+	keeps := make([]bool, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -313,6 +337,9 @@ func (s *Sim) stepParallel(inboxes [][]Envelope) error {
 			defer wg.Done()
 			ctx := Context{sim: s, stage: &stages[w]}
 			for v := lo; v < hi; v++ {
+				if s.isCrashed(NodeID(v)) {
+					continue
+				}
 				s.ingestKnowledge(NodeID(v), inboxes[v])
 				if s.protos[v] == nil {
 					continue
@@ -324,12 +351,13 @@ func (s *Sim) stepParallel(inboxes [][]Envelope) error {
 					errs[w] = ctx.err
 				}
 			}
+			keeps[w] = ctx.keep
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return false, err
 		}
 	}
 	for _, stage := range stages {
@@ -338,7 +366,11 @@ func (s *Sim) stepParallel(inboxes [][]Envelope) error {
 			s.nextSent++
 		}
 	}
-	return nil
+	alive := false
+	for _, k := range keeps {
+		alive = alive || k
+	}
+	return alive, nil
 }
 
 func msgWords(m Message) int {
@@ -363,7 +395,17 @@ type Context struct {
 	// err records the first illegal operation of this worker; the
 	// sequential path mirrors it into the simulation error.
 	err error
+	// keep accumulates KeepAlive calls across the nodes this context
+	// stepped; merged into the round's liveness after all steps.
+	keep bool
 }
+
+// KeepAlive marks the round as live even if no message moved. A protocol
+// waiting on a retransmission or acknowledgement timer calls it every round
+// while the timer is armed; otherwise a round in which a loss left nothing in
+// flight would quiesce the run before the retry could fire. Protocols must
+// stop calling it once their deadline passes, or Run only ends at MaxRounds.
+func (c *Context) KeepAlive() { c.keep = true }
 
 // fail records a protocol error on the appropriate sink.
 func (c *Context) fail(err error) {
@@ -428,6 +470,11 @@ func (c *Context) deliver(to NodeID, msg Message, adhoc bool) {
 	} else {
 		cnt.LongMsgs++
 		cnt.LongWords += w
+	}
+	if f := c.sim.faults; f != nil && f.dropSend(c.self, to, adhoc) {
+		// The send is counted (the sender spent the work) but the message
+		// never enters the delivery queue.
+		return
 	}
 	env := Envelope{From: c.self, Msg: msg}
 	if c.stage != nil {
