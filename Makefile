@@ -19,7 +19,9 @@ test:
 race:
 	go test -race ./internal/core/... ./internal/routing/... ./internal/sim/...
 
+# Benchmarks stream through cmd/benchjson, which passes the benchstat-friendly
+# text through unchanged and archives a JSON summary for CI artifacts.
 bench:
-	go test -bench=. -benchmem
+	go test -bench=. -benchmem -run '^$$' | go run ./cmd/benchjson -o BENCH_results.json
 
-ci: tier1
+ci: tier1 bench

@@ -91,6 +91,10 @@ func BenchmarkE15Engine(b *testing.B) { benchExperiment(b, expt.E15) }
 // crashed nodes, retry/replan transport on the simulator).
 func BenchmarkE16Faults(b *testing.B) { benchExperiment(b, expt.E16) }
 
+// BenchmarkE17LossAware runs the loss-aware planning comparison (retry-through
+// vs ETX plan-around on the lossy-region corridor).
+func BenchmarkE17LossAware(b *testing.B) { benchExperiment(b, expt.E17) }
+
 // --- batch engine micro-benchmarks ---
 //
 // One op = answering the same 256-query workload (half hot-set repeats, half

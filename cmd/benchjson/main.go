@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a JSON summary so
+// CI can archive the perf trajectory as a machine-readable artifact. The raw
+// text stream passes through unchanged on stdout (benchstat consumes the text
+// form, so `make bench` tees through this tool and keeps both).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | benchjson -o BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchFile is the JSON document: run environment plus every benchmark line.
+type benchFile struct {
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output JSON path")
+	flag.Parse()
+
+	doc := benchFile{Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw benchstat-consumable text through
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read: %v", err)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchjson: write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseBenchLine parses a standard testing.B result line, e.g.
+//
+//	BenchmarkE2Stretch-8   100   12345678 ns/op   4096 B/op   12 allocs/op
+func parseBenchLine(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchResult{}, false
+	}
+	var r benchResult
+	r.Name = f[0]
+	r.Procs = 1
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.Procs = f[0][:i], p
+		}
+	}
+	iter, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r.Iterations = iter
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return benchResult{}, false
+	}
+	return r, true
+}

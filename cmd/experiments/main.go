@@ -1,4 +1,4 @@
-// Command experiments runs the full experiment suite E1–E16 (see DESIGN.md)
+// Command experiments runs the full experiment suite E1–E17 (see DESIGN.md)
 // and prints each result table together with its claim check; EXPERIMENTS.md
 // records a reference run.
 //
@@ -30,7 +30,7 @@ func main() {
 		"E1": expt.E1, "E2": expt.E2, "E3": expt.E3, "E4": expt.E4, "E5": expt.E5,
 		"E6": expt.E6, "E7": expt.E7, "E8": expt.E8, "E9": expt.E9, "E10": expt.E10,
 		"E11": expt.E11, "E12": expt.E12, "E13": expt.E13, "E14": expt.E14,
-		"E15": expt.E15, "E16": expt.E16,
+		"E15": expt.E15, "E16": expt.E16, "E17": expt.E17,
 	}
 
 	var results []*expt.Result

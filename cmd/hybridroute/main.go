@@ -10,6 +10,7 @@
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
 //	            [-batch] [-workers 0] [-cache 4096]
+//	            [-loss 0.05] [-crash 5] [-retries 3] [-lossaware]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"hybridroute/internal/core"
@@ -40,6 +42,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "message loss probability per link class; > 0 adds a fault-injected delivery run")
 	crash := flag.Int("crash", 0, "number of crashed nodes to inject into the delivery run")
 	retries := flag.Int("retries", core.DefaultRetries, "per-hop retry budget for fault-injected delivery")
+	lossAware := flag.Bool("lossaware", false, "plan around observed lossy links (ETX weights) in the delivery run")
 	flag.Parse()
 
 	sc, err := buildScenario(*scenario, *seed, *n, *holes)
@@ -130,14 +133,14 @@ func main() {
 	// Fault-injected delivery run: only when requested, so the default output
 	// stays byte-identical to earlier releases.
 	if *loss > 0 || *crash > 0 {
-		runFaultedDelivery(nw, pairs, *loss, *crash, *retries, *seed)
+		runFaultedDelivery(nw, pairs, *loss, *crash, *retries, *seed, *lossAware)
 	}
 }
 
 // runFaultedDelivery installs the seeded fault model and re-answers the query
 // workload as actual payload deliveries on the simulator, reporting how many
 // survive message loss and crashed nodes through retries and replanning.
-func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, retries int, seed int64) {
+func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, retries int, seed int64, lossAware bool) {
 	rng := rand.New(rand.NewSource(seed + 7))
 	crashed := make([]sim.NodeID, 0, crash)
 	isCrashed := make(map[sim.NodeID]bool)
@@ -153,7 +156,10 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		log.Fatalf("faults: %v", err)
 	}
 	topt := core.TransportOptions{PayloadWords: 32, Retries: retries, Reliable: true}
-	delivered, attempted, retrans, replans, skipped := 0, 0, 0, 0, 0
+	if lossAware {
+		topt.LossAware = core.LossAwareOn
+	}
+	delivered, attempted, retrans, replans, detours, skipped := 0, 0, 0, 0, 0, 0
 	var failures []string
 	for _, p := range pairs {
 		if isCrashed[p.S] || isCrashed[p.T] {
@@ -173,13 +179,40 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		}
 		retrans += rep.Retransmits
 		replans += rep.Replans
+		detours += rep.Detours
 	}
 	fmt.Printf("\nfault-injected delivery (loss %.3f, %d crashed, %d retries/hop):\n", loss, len(crashed), retries)
 	fmt.Printf("delivered %d/%d (%.1f%%), skipped %d with crashed endpoints\n",
 		delivered, attempted, 100*float64(delivered)/float64(max(attempted, 1)), skipped)
 	fmt.Printf("retransmissions %d, source replans %d\n", retrans, replans)
+	if lossAware {
+		fmt.Printf("loss-aware detours %d\n", detours)
+		printLinkSummary(nw)
+	}
 	for _, f := range failures {
 		fmt.Printf("failure: %s\n", f)
+	}
+}
+
+// printLinkSummary reports what the ack-telemetry estimator learned during the
+// delivery run: how many directed links carry a loss estimate and the worst
+// offenders by estimated loss.
+func printLinkSummary(nw *core.Network) {
+	ests := nw.Link.Snapshot()
+	if len(ests) == 0 {
+		fmt.Println("link telemetry: no loss observed")
+		return
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i].Loss > ests[j].Loss })
+	fmt.Printf("link telemetry: %d directed links with a loss estimate (generation %d)\n",
+		len(ests), nw.Link.Generation())
+	top := ests
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, e := range top {
+		fmt.Printf("  worst link %d->%d: estimated loss %.2f (ETX %.2f)\n",
+			e.From, e.To, e.Loss, nw.Link.ETX(e.From, e.To))
 	}
 }
 

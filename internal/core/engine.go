@@ -168,11 +168,24 @@ const (
 
 // planKey identifies one cacheable sub-result. Exit plans additionally
 // depend on the continuous "toward" point, carried as raw coordinates.
+// gen is the LinkStats generation the fragment was computed under: when
+// link-quality estimates shift, the generation advances and stale cached
+// fragments simply stop being addressable (they age out of the LRU). On a
+// lossless run the generation stays 0 forever, so caching is unchanged.
 type planKey struct {
 	kind int8
 	gi   int32
 	a, b sim.NodeID
 	x, y float64
+	gen  uint64
+}
+
+// linkGen is the current link-quality generation to stamp into plan keys.
+func (e *Engine) linkGen() uint64 {
+	if e.nw.Link == nil {
+		return 0
+	}
+	return e.nw.Link.Generation()
 }
 
 // planValue is a cached plan fragment. Failures (ok=false) are cached too:
@@ -184,7 +197,7 @@ type planValue struct {
 }
 
 func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
-	k := planKey{kind: kindGroupPath, gi: int32(gi), a: s, b: t}
+	k := planKey{kind: kindGroupPath, gi: int32(gi), a: s, b: t, gen: e.linkGen()}
 	if v, hit := e.lookup(k); hit {
 		return copyIDs(v.wps), v.ok
 	}
@@ -194,7 +207,7 @@ func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
 }
 
 func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID, sim.NodeID, bool) {
-	k := planKey{kind: kindExitPlan, gi: int32(gi), a: v, x: toward.X, y: toward.Y}
+	k := planKey{kind: kindExitPlan, gi: int32(gi), a: v, x: toward.X, y: toward.Y, gen: e.linkGen()}
 	if c, hit := e.lookup(k); hit {
 		return copyIDs(c.wps), c.exit, c.ok
 	}
@@ -204,7 +217,7 @@ func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID
 }
 
 func (e *Engine) overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool) {
-	k := planKey{kind: kindOverlay, a: a, b: b}
+	k := planKey{kind: kindOverlay, a: a, b: b, gen: e.linkGen()}
 	if v, hit := e.lookup(k); hit {
 		return copyIDs(v.wps), v.ok
 	}
@@ -249,6 +262,7 @@ func shardOf(k planKey, shards int) int {
 	mix(uint64(k.b))
 	mix(math.Float64bits(k.x))
 	mix(math.Float64bits(k.y))
+	mix(k.gen)
 	return int(h % uint64(shards))
 }
 

@@ -125,6 +125,13 @@ type Network struct {
 	Groups []HullGroup
 	Report Report
 
+	// Link holds the per-directed-link loss estimates the reliable transport
+	// feeds back after each delivery; the loss-aware planning mode reads them
+	// as ETX edge multipliers. It stays empty (generation 0) until some
+	// transfer is actually observed failing, so its presence never perturbs
+	// lossless runs.
+	Link *LinkStats
+
 	hullNodeOf map[geom.Point]sim.NodeID
 	nodeAtPt   map[geom.Point]sim.NodeID
 	// groupDomains are built lazily but init-once (guarded by groupDomainInit)
@@ -281,6 +288,7 @@ func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network)
 		return nil, fmt.Errorf("core: UDG is disconnected; the paper assumes strong connectivity")
 	}
 	nw := &Network{G: g}
+	nw.Link = NewLinkStats(0)
 	nw.Sim = sim.New(g, sim.Config{Strict: cfg.Strict, Parallel: cfg.Parallel})
 	if tree != nil {
 		// Tree edges survive node movement; re-grant the ID knowledge the

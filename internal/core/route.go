@@ -1,9 +1,13 @@
 package core
 
 import (
+	"math"
+
+	"hybridroute/internal/delaunay"
 	"hybridroute/internal/geom"
 	"hybridroute/internal/routing"
 	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
 	"hybridroute/internal/vis"
 )
 
@@ -23,6 +27,10 @@ type Outcome struct {
 	// PlanFallback is set when the geometric plan failed and the query fell
 	// back to the LDel² shortest path.
 	PlanFallback bool
+	// LossDetour is set when loss-aware planning replaced the geometric plan
+	// with an ETX-weighted LDel² path because the plan crossed links with
+	// observed loss.
+	LossDetour bool
 }
 
 // bayIndexOf returns the index of the bay containing p (a point strictly
@@ -428,6 +436,54 @@ func (nw *Network) pointsToNodes(from, to sim.NodeID, pts []geom.Point) ([]sim.N
 		wps = append(wps, to)
 	}
 	return wps, true
+}
+
+// lossDetourSlack is the tolerance of loss-aware planning: a plan whose
+// expected transmission cost (Σ edge length × ETX) exceeds its geometric
+// length by more than this factor is re-planned over the ETX-weighted LDel².
+// The slack keeps barely-lossy plans stable instead of flapping between
+// near-equal alternatives.
+const lossDetourSlack = 1.05
+
+// etxWeight builds the edge-weight function of loss-aware planning: the
+// ETX multiplier of each directed link, with edges into transport-declared
+// dead nodes removed (the p̂ → 1 limit; t itself stays reachable, matching
+// ShortestPathAvoiding's endpoint exemption).
+func (nw *Network) etxWeight(t sim.NodeID, avoid map[sim.NodeID]bool) delaunay.EdgeWeight {
+	return func(u, v udg.NodeID) float64 {
+		if avoid[v] && v != t {
+			return math.Inf(1)
+		}
+		return nw.Link.ETX(u, v)
+	}
+}
+
+// applyLossDetour re-plans out.Path over the ETX-weighted LDel² when the
+// current plan's expected transmission cost is meaningfully worse than its
+// length, keeping the plan otherwise. It reports whether the plan changed.
+// With an empty estimator every ETX is 1, both costs coincide and the plan
+// is always kept — loss-aware mode is inert until loss has been observed.
+func (nw *Network) applyLossDetour(out *Outcome, t sim.NodeID, avoid map[sim.NodeID]bool) bool {
+	if nw.Link == nil || !out.Reached || len(out.Path) < 2 {
+		return false
+	}
+	geo, exp := 0.0, 0.0
+	for i := 1; i < len(out.Path); i++ {
+		l := nw.G.Point(out.Path[i-1]).Dist(nw.G.Point(out.Path[i]))
+		geo += l
+		exp += l * nw.Link.ETX(out.Path[i-1], out.Path[i])
+	}
+	if exp <= geo*lossDetourSlack {
+		return false
+	}
+	path, cost, ok := nw.LDel.ShortestPathWeighted(out.Path[0], t, nw.etxWeight(t, avoid))
+	if !ok || cost >= exp {
+		return false
+	}
+	out.Path = path
+	out.Waypoints = nil
+	out.LossDetour = true
+	return true
 }
 
 // globalFallback delivers via the LDel² shortest path, flagged; it keeps

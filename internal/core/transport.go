@@ -97,7 +97,27 @@ type TransportOptions struct {
 	// By default the reliable protocol engages exactly when the simulator
 	// has fault injection active.
 	Reliable bool
+	// LossAware selects loss-aware planning: plans and replans are biased
+	// away from links whose observed loss estimate (Network.Link) makes
+	// their expected transmission cost exceed a clean detour's.
+	LossAware LossAwareMode
 }
+
+// LossAwareMode selects when route planning consults the link-quality
+// estimates.
+type LossAwareMode int
+
+const (
+	// LossAwareAuto engages loss-aware planning exactly when the simulator
+	// has fault injection active — the default, mirroring how the reliable
+	// protocol itself engages. On a lossless simulator it never perturbs
+	// plans (and even when engaged it is inert until loss is observed).
+	LossAwareAuto LossAwareMode = iota
+	// LossAwareOn always consults the estimates.
+	LossAwareOn
+	// LossAwareOff never does: the retry-through baseline.
+	LossAwareOff
+)
 
 // DefaultRetries is the per-hop retransmission budget when none is given.
 const DefaultRetries = 3
@@ -115,6 +135,7 @@ type TransportReport struct {
 	Retransmits int // timer-driven resends (data, acks excluded, handshakes included)
 	Replans     int // distinct dead hops the source replanned around
 	DataHops    int // successful payload handovers, replans and retries included
+	Detours     int // plans replaced by loss-aware ETX detours (initial + replans)
 }
 
 // RouteOnSim executes a routing query as an actual message sequence on the
@@ -165,7 +186,12 @@ func (nw *Network) routeOnSim(planner planSource, s, t sim.NodeID, opt Transport
 	nw.Sim.Teach(s, t)
 
 	if opt.Reliable || nw.Sim.FaultsActive() {
-		return nw.deliverReliable(planner, s, t, opt, rep)
+		lossAware := opt.LossAware == LossAwareOn ||
+			(opt.LossAware == LossAwareAuto && nw.Sim.FaultsActive())
+		if lossAware && nw.applyLossDetour(&rep.Outcome, t, nil) {
+			rep.Detours++
+		}
+		return nw.deliverReliable(planner, s, t, opt, rep, lossAware)
 	}
 	return nw.deliverLossless(s, t, opt.PayloadWords, rep)
 }
@@ -285,6 +311,16 @@ type rstrand struct {
 	dead     sim.NodeID
 }
 
+// linkObs is one completed transfer's outcome over a directed ad hoc link,
+// recorded by the sending node and folded into Network.Link after the run
+// (per-node slices keep recording race-free under parallel stepping; the
+// fold happens in node order, so the estimates are deterministic).
+type linkObs struct {
+	to       sim.NodeID
+	attempts int
+	acked    bool
+}
+
 // rnode is the per-node reliable-transport state. Each node's state is
 // touched only by its own protocol step, so parallel stepping stays
 // race-free; the driver reads it after the run has quiesced.
@@ -297,6 +333,11 @@ type rnode struct {
 	misrouted bool
 	hopsIn    int // fresh (non-duplicate) payload receipts
 	retrans   int
+	obs       []linkObs
+	// abandoned records a strand this holder gave up on after its failure
+	// notices to the source went unanswered — the payload is gone, and the
+	// query error must say where and why instead of "did not arrive".
+	abandoned *rstrand
 }
 
 // rsourceState is the extra state of the query source.
@@ -306,11 +347,14 @@ type rsourceState struct {
 	havePos     bool
 	dead        map[sim.NodeID]bool
 	replans     int
+	detours     int
 	failure     string
 }
 
-// deliverReliable runs the ack/retry/replan protocol for one query.
-func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport) (*TransportReport, error) {
+// deliverReliable runs the ack/retry/replan protocol for one query. With
+// lossAware set, every replan consults the link-quality estimates and may
+// substitute an ETX-weighted detour for the geometric plan.
+func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport, lossAware bool) (*TransportReport, error) {
 	retries := opt.Retries
 	if retries <= 0 {
 		retries = DefaultRetries
@@ -333,12 +377,22 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 
 	// replanFrom computes a fresh hop path holder→t around the known-dead
 	// nodes: first through the hybrid planner (Network or Engine plan
-	// cache); if that plan crosses a dead node, through an LDel² shortest
-	// path with the dead set removed.
+	// cache), loss-detoured when the mode is on; if that plan crosses a
+	// dead node, through an LDel² shortest path with the dead set removed
+	// (ETX-weighted in loss-aware mode, so the escape route also prefers
+	// low-loss links).
 	replanFrom := func(holder sim.NodeID) ([]sim.NodeID, bool) {
 		out := nw.route(planner, holder, t, false)
 		if out.Reached && !pathHitsAny(out.Path, src.dead) {
+			if lossAware && nw.applyLossDetour(&out, t, src.dead) {
+				src.detours++
+			}
 			return out.Path, true
+		}
+		if lossAware {
+			if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, src.dead)); ok {
+				return p, true
+			}
 		}
 		if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, src.dead); ok {
 			return p, true
@@ -400,6 +454,7 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 				case hopAck:
 					for i, p := range me.pends {
 						if p.to == env.From && p.msg.n == msg.n {
+							me.obs = append(me.obs, linkObs{to: p.to, attempts: p.attempts, acked: true})
 							me.pends = append(me.pends[:i], me.pends[i+1:]...)
 							break
 						}
@@ -471,6 +526,7 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 				// locally; any other holder strands the payload and raises
 				// a nack.
 				me.pends = append(me.pends[:i], me.pends[i+1:]...)
+				me.obs = append(me.obs, linkObs{to: p.to, attempts: p.attempts, acked: false})
 				if v == s {
 					if !src.dead[p.to] {
 						src.dead[p.to] = true
@@ -483,10 +539,12 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					}
 					sendData(ctx, me, round, full[1], full[2:], p.msg.payload)
 				} else {
+					// The first failure notice is a first send, not a
+					// retransmission — only the timer-driven nack resends
+					// below count, matching sendData's semantics.
 					me.nextN++
 					sd := &rstrand{seq: me.nextN, payload: p.msg.payload, sentAt: round, attempts: 1, dead: p.to}
 					me.strands = append(me.strands, sd)
-					me.retrans++
 					ctx.SendLong(s, nackMsg{seq: sd.seq, dead: p.to})
 				}
 			}
@@ -498,7 +556,11 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					continue
 				}
 				if sd.attempts > retries {
-					// The source never answered: give up this payload.
+					// The source never answered: the payload is abandoned
+					// here. Record the strand so the query error names the
+					// holder and the dead hop instead of reporting a
+					// generic non-arrival.
+					me.abandoned = sd
 					me.strands = append(me.strands[:i], me.strands[i+1:]...)
 					continue
 				}
@@ -519,9 +581,20 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 	pr.fill(nw, rep)
 	rep.DeliveredSim = st[t].delivered
 	rep.Replans = src.replans
+	rep.Detours += src.detours
 	for v := range st {
 		rep.Retransmits += st[v].retrans
 		rep.DataHops += st[v].hopsIn
+	}
+	// Feed the ack outcomes back into the link-quality estimates, in node
+	// order so the fold is deterministic. Clean first-attempt successes are
+	// no-ops inside Observe, so lossless runs leave the estimator untouched.
+	if nw.Link != nil {
+		for v := range st {
+			for _, o := range st[v].obs {
+				nw.Link.Observe(sim.NodeID(v), o.to, o.attempts, o.acked)
+			}
+		}
 	}
 	if rep.DeliveredSim {
 		return rep, nil
@@ -533,6 +606,11 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 	}
 	if src.failure != "" {
 		return rep, fmt.Errorf("core: delivery %d->%d failed: %s", s, t, src.failure)
+	}
+	for v := range st {
+		if sd := st[v].abandoned; sd != nil {
+			return rep, fmt.Errorf("core: stranded payload at node %d: next hop %d dead and %d failure notices to source %d went unanswered", v, sd.dead, sd.attempts, s)
+		}
 	}
 	return rep, fmt.Errorf("core: payload did not arrive at %d within %d rounds (retries %d)", t, timeout, retries)
 }

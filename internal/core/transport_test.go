@@ -125,7 +125,8 @@ func transportReportsEqual(a, b *TransportReport) bool {
 	if a.Rounds != b.Rounds || a.AdHocMsgs != b.AdHocMsgs || a.LongMsgs != b.LongMsgs ||
 		a.AdHocWords != b.AdHocWords || a.LongWords != b.LongWords ||
 		a.DeliveredSim != b.DeliveredSim || a.Retransmits != b.Retransmits ||
-		a.Replans != b.Replans || a.DataHops != b.DataHops || len(a.Path) != len(b.Path) {
+		a.Replans != b.Replans || a.DataHops != b.DataHops || a.Detours != b.Detours ||
+		a.LossDetour != b.LossDetour || len(a.Path) != len(b.Path) {
 		return false
 	}
 	for i := range a.Path {
@@ -239,7 +240,7 @@ func TestMisroutedPlanNamesTheNode(t *testing.T) {
 		rep.Outcome.Path = truncated
 		var err error
 		if reliable {
-			_, err = nw.deliverReliable(nw, s, d, TransportOptions{PayloadWords: 8}, rep)
+			_, err = nw.deliverReliable(nw, s, d, TransportOptions{PayloadWords: 8}, rep, false)
 		} else {
 			_, err = nw.deliverLossless(s, d, 8, rep)
 		}
@@ -253,6 +254,136 @@ func TestMisroutedPlanNamesTheNode(t *testing.T) {
 		if rep.DeliveredSim {
 			t.Errorf("reliable=%v: must not report delivery", reliable)
 		}
+	}
+}
+
+// TestStrandedPayloadNamesHolder forces the silent-drop path the satellite
+// bugfix repairs: the holder's next hop is crashed and every failure notice
+// to the source is lost (the holder sits in a region with total long-range
+// loss), so after exhausting its nack budget the holder abandons the payload
+// — and the query error must name the holder and the dead hop instead of
+// reporting a generic non-arrival.
+func TestStrandedPayloadNamesHolder(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	s, d := transportPair(t, nw)
+	plan := nw.Route(s, d)
+	if !plan.Reached || len(plan.Path) < 6 {
+		t.Fatalf("need a long plan, got %v", plan.Path)
+	}
+	holder, dead := plan.Path[3], plan.Path[4]
+	if err := nw.Sim.SetFaults(sim.FaultConfig{
+		Seed:    9,
+		Crashed: []sim.NodeID{dead},
+		LossRegions: []sim.LossRegion{
+			{Center: nw.G.Point(holder), Radius: 1e-9, LongLoss: 1},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := nw.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 16, LossAware: LossAwareOff})
+	if err == nil {
+		t.Fatal("abandoned payload must fail the query")
+	}
+	if rep.DeliveredSim {
+		t.Fatal("must not report delivery")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, fmt.Sprintf("stranded payload at node %d", holder)) ||
+		!strings.Contains(msg, fmt.Sprintf("next hop %d dead", dead)) {
+		t.Errorf("error %q must name holder %d and dead hop %d", msg, holder, dead)
+	}
+}
+
+// TestRetransmitCountPinned pins the Retransmits semantics the satellite
+// bugfix aligns: toward a crashed hop the sender resends exactly its retry
+// budget — the initial data send and the first failure notice are first
+// sends, not retransmissions — and nothing else retries in a crash-only run.
+func TestRetransmitCountPinned(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	s, d := transportPair(t, nw)
+	plan := nw.Route(s, d)
+	if !plan.Reached || len(plan.Path) < 6 {
+		t.Fatalf("need a long plan, got %v", plan.Path)
+	}
+	dead := plan.Path[3] // holder Path[2] is not the source, so the nack path runs
+	if err := nw.Sim.SetFaults(sim.FaultConfig{Crashed: []sim.NodeID{dead}, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	const retries = 2
+	rep, err := nw.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 16, Retries: retries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DeliveredSim {
+		t.Fatal("payload must arrive around the crash")
+	}
+	if rep.Replans != 1 {
+		t.Errorf("replans = %d, want 1", rep.Replans)
+	}
+	if rep.Retransmits != retries {
+		t.Errorf("retransmits = %d, want exactly %d (only timer-driven resends toward the dead hop)", rep.Retransmits, retries)
+	}
+}
+
+// TestLossAwareDetoursAroundLossyRegion drives repeated queries through a
+// lossy region: the estimator learns the region's links from ack outcomes
+// alone and loss-aware planning replaces later plans with ETX detours.
+func TestLossAwareDetoursAroundLossyRegion(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	s, d := transportPair(t, nw)
+	plan := nw.Route(s, d)
+	if !plan.Reached || len(plan.Path) < 5 {
+		t.Fatalf("need a multi-hop plan, got %v", plan.Path)
+	}
+	mid := plan.Path[len(plan.Path)/2]
+	if err := nw.Sim.SetFaults(sim.FaultConfig{Seed: 6, LossRegions: []sim.LossRegion{
+		{Center: nw.G.Point(mid), Radius: 1.2, AdHocLoss: 0.35},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Warmup: deliveries through the region teach the estimator (failed
+	// queries feed it too, so they are tolerated).
+	for i := 0; i < 3; i++ {
+		if _, err := nw.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 16}); err != nil {
+			t.Logf("warmup %d failed (telemetry still recorded): %v", i, err)
+		}
+	}
+	if nw.Link.Generation() == 0 {
+		t.Fatal("queries through a 35% lossy region must feed the estimator")
+	}
+	rep, err := nw.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 16})
+	if err != nil {
+		t.Fatalf("loss-aware delivery: %v", err)
+	}
+	if !rep.DeliveredSim {
+		t.Fatal("loss-aware query must deliver")
+	}
+	if rep.Detours == 0 {
+		t.Errorf("expected the learned region loss to trigger an ETX detour: %+v", rep)
+	}
+}
+
+// TestLossAwareLosslessByteIdentical pins the other half of the acceptance
+// criterion: on a fault-free simulator, forcing Reliable with LossAwareOn is
+// byte-identical to LossAwareOff, and the estimator never leaves generation 0.
+func TestLossAwareLosslessByteIdentical(t *testing.T) {
+	a := prepScenario(t, 0.55, 8, 8, 1.8)
+	b := prepScenario(t, 0.55, 8, 8, 1.8)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		s := sim.NodeID(rng.Intn(a.G.N()))
+		d := sim.NodeID(rng.Intn(a.G.N()))
+		r0, err0 := a.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 16, Reliable: true, LossAware: LossAwareOff})
+		r1, err1 := b.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 16, Reliable: true, LossAware: LossAwareOn})
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("%d->%d: error mismatch %v vs %v", s, d, err0, err1)
+		}
+		if !transportReportsEqual(r0, r1) {
+			t.Fatalf("%d->%d: loss-aware mode perturbed a lossless run:\n%+v\n%+v", s, d, r0, r1)
+		}
+	}
+	if g := b.Link.Generation(); g != 0 {
+		t.Errorf("lossless runs must leave the estimator at generation 0 (got %d)", g)
 	}
 }
 

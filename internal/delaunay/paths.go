@@ -11,7 +11,7 @@ import (
 // the planar graph, including both endpoints, plus its length; ok is false
 // when t is unreachable.
 func (g *PlanarGraph) ShortestPath(s, t udg.NodeID) ([]udg.NodeID, float64, bool) {
-	return g.shortestPath(s, t, nil)
+	return g.shortestPath(s, t, nil, nil)
 }
 
 // ShortestPathAvoiding is ShortestPath restricted to the subgraph without the
@@ -20,12 +20,28 @@ func (g *PlanarGraph) ShortestPath(s, t udg.NodeID) ([]udg.NodeID, float64, bool
 // hops that stopped acknowledging.
 func (g *PlanarGraph) ShortestPathAvoiding(s, t udg.NodeID, avoid map[udg.NodeID]bool) ([]udg.NodeID, float64, bool) {
 	if len(avoid) == 0 {
-		return g.shortestPath(s, t, nil)
+		return g.shortestPath(s, t, nil, nil)
 	}
-	return g.shortestPath(s, t, avoid)
+	return g.shortestPath(s, t, avoid, nil)
 }
 
-func (g *PlanarGraph) shortestPath(s, t udg.NodeID, avoid map[udg.NodeID]bool) ([]udg.NodeID, float64, bool) {
+// EdgeWeight scales the Euclidean length of the directed edge (u, v) in a
+// weighted shortest-path search. A multiplier that is not finite and positive
+// removes the edge from the search — so ShortestPathAvoiding is the limit of
+// ShortestPathWeighted as an edge's weight goes to +Inf (a link whose
+// estimated loss probability p̂ → 1 under an ETX cost 1/(1−p̂)).
+type EdgeWeight func(u, v udg.NodeID) float64
+
+// ShortestPathWeighted returns the minimum-cost path between s and t where
+// the directed edge (u, v) costs its Euclidean length times weight(u, v),
+// plus the path's total cost. A nil weight is the plain Euclidean search.
+// The loss-aware route planner uses it with ETX-style multipliers to bias
+// payload plans away from links that have been observed dropping messages.
+func (g *PlanarGraph) ShortestPathWeighted(s, t udg.NodeID, weight EdgeWeight) ([]udg.NodeID, float64, bool) {
+	return g.shortestPath(s, t, nil, weight)
+}
+
+func (g *PlanarGraph) shortestPath(s, t udg.NodeID, avoid map[udg.NodeID]bool, weight EdgeWeight) ([]udg.NodeID, float64, bool) {
 	n := g.N()
 	dist := make([]float64, n)
 	prev := make([]udg.NodeID, n)
@@ -48,7 +64,15 @@ func (g *PlanarGraph) shortestPath(s, t udg.NodeID, avoid map[udg.NodeID]bool) (
 			if avoid[w] && w != t {
 				continue
 			}
-			nd := item.d + pv.Dist(g.Point(w))
+			l := pv.Dist(g.Point(w))
+			if weight != nil {
+				m := weight(item.v, w)
+				if !(m > 0) || math.IsInf(m, 1) {
+					continue
+				}
+				l *= m
+			}
+			nd := item.d + l
 			if nd < dist[w] {
 				dist[w] = nd
 				prev[w] = item.v

@@ -1,6 +1,7 @@
 package delaunay
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -55,4 +56,96 @@ func TestShortestPathAvoiding(t *testing.T) {
 	if !ok || p[0] != 0 || p[len(p)-1] != udg.NodeID(g.N()-1) {
 		t.Fatalf("endpoints must be exempt from the avoid set (got %v ok=%v)", p, ok)
 	}
+}
+
+// TestShortestPathWeighted checks the ETX-style weighted search: a nil or
+// unit weight reproduces the Euclidean path bit-for-bit, finite multipliers
+// push the path off penalized links, and the +Inf limit reproduces
+// ShortestPathAvoiding (the p̂ → 1 case the loss-aware planner relies on).
+func TestShortestPathWeighted(t *testing.T) {
+	g := gridWithHole(0.55, 7, 7, 1.6)
+	if !g.Connected() {
+		t.Skip("UDG disconnected")
+	}
+	ld := LDelK(g, 2)
+	rng := rand.New(rand.NewSource(29))
+	unit := func(u, v udg.NodeID) float64 { return 1 }
+	for trial := 0; trial < 30; trial++ {
+		s := udg.NodeID(rng.Intn(g.N()))
+		d := udg.NodeID(rng.Intn(g.N()))
+		if s == d {
+			continue
+		}
+		base, baseLen, ok := ld.ShortestPath(s, d)
+		if !ok {
+			t.Fatal("connected LDel2")
+		}
+		pNil, lNil, ok := ld.ShortestPathWeighted(s, d, nil)
+		if !ok || lNil != baseLen || !samePath(pNil, base) {
+			t.Fatalf("nil weight must reproduce ShortestPath (%v/%v vs %v/%v)", pNil, lNil, base, baseLen)
+		}
+		pUnit, lUnit, ok := ld.ShortestPathWeighted(s, d, unit)
+		if !ok || lUnit != baseLen || !samePath(pUnit, base) {
+			t.Fatalf("unit weight must reproduce ShortestPath (%v/%v vs %v/%v)", pUnit, lUnit, base, baseLen)
+		}
+		if len(base) < 3 {
+			continue
+		}
+		// Penalize every edge into an interior node of the shortest path.
+		bad := base[len(base)/2]
+		penalty := func(u, v udg.NodeID) float64 {
+			if v == bad || u == bad {
+				return 1e6
+			}
+			return 1
+		}
+		detour, dCost, ok := ld.ShortestPathWeighted(s, d, penalty)
+		if !ok {
+			t.Fatalf("%d->%d: heavy penalty must not disconnect the pair", s, d)
+		}
+		if dCost < baseLen-1e-9 {
+			t.Fatalf("weighted cost %v below unweighted length %v", dCost, baseLen)
+		}
+		for _, v := range detour[1 : len(detour)-1] {
+			if v == bad {
+				// Legal only if no alternative exists; the +Inf check below
+				// decides that.
+				if _, _, okInf := ld.ShortestPathWeighted(s, d, func(u, v udg.NodeID) float64 {
+					if v == bad || u == bad {
+						return math.Inf(1)
+					}
+					return 1
+				}); okInf {
+					t.Fatalf("detour %v crosses penalized node %d despite an alternative", detour, bad)
+				}
+			}
+		}
+		// The +Inf limit must agree with ShortestPathAvoiding.
+		avoid := map[udg.NodeID]bool{bad: true}
+		pa, la, okA := ld.ShortestPathAvoiding(s, d, avoid)
+		pw, lw, okW := ld.ShortestPathWeighted(s, d, func(u, v udg.NodeID) float64 {
+			if (avoid[v] && v != d) || (avoid[u] && u != s) {
+				return math.Inf(1)
+			}
+			return 1
+		})
+		if okA != okW {
+			t.Fatalf("%d->%d: +Inf weight ok=%v, avoiding ok=%v", s, d, okW, okA)
+		}
+		if okA && math.Abs(la-lw) > 1e-9 {
+			t.Fatalf("%d->%d: +Inf weight cost %v != avoiding length %v (%v vs %v)", s, d, lw, la, pw, pa)
+		}
+	}
+}
+
+func samePath(a, b []udg.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -37,3 +37,4 @@ func TestE11(t *testing.T) { runExpt(t, E11, "E11") }
 func TestE12(t *testing.T) { runExpt(t, E12, "E12") }
 func TestE13(t *testing.T) { runExpt(t, E13, "E13") }
 func TestE14(t *testing.T) { runExpt(t, E14, "E14") }
+func TestE17(t *testing.T) { runExpt(t, E17, "E17") }

@@ -179,7 +179,8 @@ func transportReportsEqual(a, b *core.TransportReport) bool {
 	if a.Rounds != b.Rounds || a.AdHocMsgs != b.AdHocMsgs || a.LongMsgs != b.LongMsgs ||
 		a.AdHocWords != b.AdHocWords || a.LongWords != b.LongWords ||
 		a.DeliveredSim != b.DeliveredSim || a.Retransmits != b.Retransmits ||
-		a.Replans != b.Replans || a.DataHops != b.DataHops || len(a.Path) != len(b.Path) {
+		a.Replans != b.Replans || a.DataHops != b.DataHops || a.Detours != b.Detours ||
+		a.LossDetour != b.LossDetour || len(a.Path) != len(b.Path) {
 		return false
 	}
 	for i := range a.Path {

@@ -1,6 +1,10 @@
 package routing
 
-import "testing"
+import (
+	"testing"
+
+	"hybridroute/internal/geom"
+)
 
 // ChewVia edge cases the batch engine hits concurrently: degenerate waypoint
 // lists must not panic and must report sane results.
@@ -36,5 +40,49 @@ func TestChewViaRepeatedWaypoint(t *testing.T) {
 	}
 	if len(res.Path) != 1 || res.Path[0] != v {
 		t.Fatalf("path = %v, want [%d]", res.Path, v)
+	}
+}
+
+// TestChewViaLegHitsHoleFallsBack pins the mid-leg hole branch: a waypoint
+// pair straddling the hole makes Chew stop with HoleHit, so ChewVia must
+// engage the per-leg graph-shortest-path fallback, propagate Fallback, and
+// splice a path whose every consecutive pair is a graph edge.
+func TestChewViaLegHitsHoleFallsBack(t *testing.T) {
+	g, r, _ := buildScenario(t, 0.55, 8, 8, 2.0)
+	west := nodeNear(g, geom.Pt(0.5, 4))
+	east := nodeNear(g, geom.Pt(7.5, 4))
+	south := nodeNear(g, geom.Pt(4, 0.5))
+
+	// Confirm the middle leg actually exercises the branch: Chew across the
+	// hole must not reach on its own.
+	direct := r.Chew(west, east)
+	if direct.Reached {
+		t.Fatalf("leg %d->%d across the hole unexpectedly reached; scenario broken", west, east)
+	}
+	if !direct.HoleHit {
+		t.Fatalf("leg %d->%d must stop at the hole (got %+v)", west, east, direct)
+	}
+
+	res := r.ChewVia([]NodeID{south, west, east})
+	if !res.Reached {
+		t.Fatalf("ChewVia must recover via the per-leg fallback: %+v", res)
+	}
+	if !res.Fallback {
+		t.Error("Fallback must propagate from the recovered leg")
+	}
+	if res.Path[0] != south || res.Path[len(res.Path)-1] != east {
+		t.Fatalf("path endpoints %d..%d, want %d..%d", res.Path[0], res.Path[len(res.Path)-1], south, east)
+	}
+	seenWest := false
+	for i, v := range res.Path {
+		if v == west {
+			seenWest = true
+		}
+		if i > 0 && !g.HasEdge(res.Path[i-1], v) {
+			t.Fatalf("spliced path hop %d->%d is not a graph edge (path %v)", res.Path[i-1], v, res.Path)
+		}
+	}
+	if !seenWest {
+		t.Errorf("spliced path must pass through the intermediate waypoint %d: %v", west, res.Path)
 	}
 }

@@ -9,7 +9,11 @@
 
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"hybridroute/internal/geom"
+)
 
 // FaultConfig describes the injected faults. The zero value is the lossless
 // model (no faults); installing it via SetFaults disables fault injection
@@ -30,11 +34,36 @@ type FaultConfig struct {
 	// (so they never forward, reply or ack) and messages addressed to them
 	// vanish. Crashed nodes still occupy their position in the UDG.
 	Crashed []NodeID
+	// LossRegions raises loss probabilities inside spatial regions — the
+	// spatially correlated fault (interference zone, jammed area) that
+	// makes loss-aware route planning pay off. A message is subject to a
+	// region's probabilities when its sender or receiver lies inside the
+	// region; region and global probabilities combine by taking the
+	// maximum.
+	LossRegions []LossRegion
+}
+
+// LossRegion is a disc inside which message loss is elevated.
+type LossRegion struct {
+	Center geom.Point
+	Radius float64
+	// AdHocLoss and LongLoss are the per-class loss probabilities applied
+	// to messages with an in-region endpoint. Must be in [0, 1].
+	AdHocLoss float64
+	LongLoss  float64
 }
 
 // active reports whether the configuration injects any fault at all.
 func (f FaultConfig) active() bool {
-	return f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0
+	if f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0 {
+		return true
+	}
+	for _, r := range f.LossRegions {
+		if r.AdHocLoss > 0 || r.LongLoss > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // DropCounters aggregates messages lost to fault injection, attributed to the
@@ -55,6 +84,12 @@ type faultState struct {
 	longLoss  float64
 	seed      uint64
 	crashed   []bool
+	// regionAdHoc/regionLong are the precomputed per-node region loss
+	// maxima (nil when no regions are configured, keeping the flat-loss
+	// fast path untouched). The effective probability of a send is the max
+	// of the global rate and both endpoints' region rates.
+	regionAdHoc []float64
+	regionLong  []float64
 	// sendSeq is the per-sender send sequence feeding the drop hash; it
 	// advances on every send (either link class, dropped or not) so the drop
 	// stream of one link class cannot perturb the other's decisions.
@@ -79,6 +114,14 @@ func (s *Sim) SetFaults(cfg FaultConfig) error {
 			return fmt.Errorf("sim: crashed node %d out of range [0, %d)", v, s.g.N())
 		}
 	}
+	for i, r := range cfg.LossRegions {
+		if r.AdHocLoss < 0 || r.AdHocLoss > 1 || r.LongLoss < 0 || r.LongLoss > 1 {
+			return fmt.Errorf("sim: region %d loss (%v, %v) outside [0, 1]", i, r.AdHocLoss, r.LongLoss)
+		}
+		if r.Radius < 0 {
+			return fmt.Errorf("sim: region %d radius %v negative", i, r.Radius)
+		}
+	}
 	if !cfg.active() {
 		s.faults = nil
 		return nil
@@ -93,6 +136,23 @@ func (s *Sim) SetFaults(cfg FaultConfig) error {
 	}
 	for _, v := range cfg.Crashed {
 		f.crashed[v] = true
+	}
+	if len(cfg.LossRegions) > 0 {
+		f.regionAdHoc = make([]float64, s.g.N())
+		f.regionLong = make([]float64, s.g.N())
+		for v := 0; v < s.g.N(); v++ {
+			p := s.g.Point(NodeID(v))
+			for _, r := range cfg.LossRegions {
+				if p.Dist(r.Center) <= r.Radius {
+					if r.AdHocLoss > f.regionAdHoc[v] {
+						f.regionAdHoc[v] = r.AdHocLoss
+					}
+					if r.LongLoss > f.regionLong[v] {
+						f.regionLong[v] = r.LongLoss
+					}
+				}
+			}
+		}
 	}
 	s.faults = f
 	return nil
@@ -142,8 +202,18 @@ func (f *faultState) dropSend(from, to NodeID, adhoc bool) bool {
 		return true
 	}
 	p := f.adHocLoss
+	region := f.regionAdHoc
 	if !adhoc {
 		p = f.longLoss
+		region = f.regionLong
+	}
+	if region != nil {
+		if region[from] > p {
+			p = region[from]
+		}
+		if region[to] > p {
+			p = region[to]
+		}
 	}
 	if p <= 0 {
 		return false

@@ -41,6 +41,74 @@ func TestSetFaultsValidation(t *testing.T) {
 	}
 }
 
+// TestLossRegionConfinesLoss pins the regional fault model: a message with an
+// in-region endpoint (sender or receiver) loses at the region's rate while
+// traffic entirely outside the region is untouched, on both link classes.
+func TestLossRegionConfinesLoss(t *testing.T) {
+	g := lineGraph(4, 0.9) // nodes at x = 0, 0.9, 1.8, 2.7
+	s := New(g, Config{})
+	region := LossRegion{Center: g.Point(3), Radius: 0.1, AdHocLoss: 1, LongLoss: 1}
+	if err := s.SetFaults(FaultConfig{Seed: 3, LossRegions: []LossRegion{region}}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.FaultsActive() {
+		t.Fatal("a lossy region must activate fault injection")
+	}
+	gotClear, gotRegion, gotFrom := 0, 0, 0
+	s.SetProto(0, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		if round == 0 {
+			ctx.SendAdHoc(1, "clear")   // both endpoints outside: never lost
+			ctx.SendLong(3, "into")     // receiver inside: always lost
+		}
+		gotFrom += len(inbox)
+	}))
+	s.SetProto(1, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		gotClear += len(inbox)
+	}))
+	s.SetProto(3, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		if round == 0 {
+			ctx.SendLong(0, "out of") // sender inside: always lost
+		}
+		gotRegion += len(inbox)
+	}))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotClear != 1 {
+		t.Errorf("out-of-region message delivered %d times, want 1", gotClear)
+	}
+	if gotRegion != 0 || gotFrom != 0 {
+		t.Errorf("in-region messages must all drop (receiver got %d, sender-side reply got %d)", gotRegion, gotFrom)
+	}
+	d := s.Dropped()
+	if d.LongDropped != 2 || d.AdHocDropped != 0 {
+		t.Errorf("drop counters = %+v, want 2 long-range drops only", d)
+	}
+}
+
+// TestLossRegionValidation rejects malformed regions and treats an all-zero
+// region as no fault at all.
+func TestLossRegionValidation(t *testing.T) {
+	g := lineGraph(3, 0.9)
+	s := New(g, Config{})
+	bad := []FaultConfig{
+		{LossRegions: []LossRegion{{Center: g.Point(0), Radius: 1, AdHocLoss: -0.2}}},
+		{LossRegions: []LossRegion{{Center: g.Point(0), Radius: 1, LongLoss: 1.3}}},
+		{LossRegions: []LossRegion{{Center: g.Point(0), Radius: -1, AdHocLoss: 0.5}}},
+	}
+	for i, cfg := range bad {
+		if err := s.SetFaults(cfg); err == nil {
+			t.Errorf("config %d must be rejected", i)
+		}
+	}
+	if err := s.SetFaults(FaultConfig{LossRegions: []LossRegion{{Center: g.Point(0), Radius: 2}}}); err != nil {
+		t.Fatalf("zero-loss region must be accepted: %v", err)
+	}
+	if s.FaultsActive() {
+		t.Error("a region without loss probabilities must leave faults inactive")
+	}
+}
+
 // TestZeroLossIsLossless pins the acceptance criterion: a fault config with
 // zero probabilities and no crashed nodes is indistinguishable from no fault
 // config at all.
