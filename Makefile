@@ -14,10 +14,11 @@ test:
 	go test ./...
 
 # The batch engine serves queries from many goroutines over one shared
-# Network, and the simulator's fault injection must stay deterministic under
-# parallel stepping; keep all three packages race-clean.
+# Network, the simulator's fault injection must stay deterministic under
+# parallel stepping, and the tracer takes concurrent emits from the worker
+# pool; keep all four packages race-clean.
 race:
-	go test -race ./internal/core/... ./internal/routing/... ./internal/sim/...
+	go test -race ./internal/core/... ./internal/routing/... ./internal/sim/... ./internal/trace/...
 
 # Benchmarks stream through cmd/benchjson, which passes the benchstat-friendly
 # text through unchanged and archives a JSON summary for CI artifacts.

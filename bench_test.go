@@ -13,6 +13,7 @@ import (
 	"hybridroute/internal/core"
 	"hybridroute/internal/expt"
 	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
 	"hybridroute/internal/workload"
 )
 
@@ -94,6 +95,10 @@ func BenchmarkE16Faults(b *testing.B) { benchExperiment(b, expt.E16) }
 // BenchmarkE17LossAware runs the loss-aware planning comparison (retry-through
 // vs ETX plan-around on the lossy-region corridor).
 func BenchmarkE17LossAware(b *testing.B) { benchExperiment(b, expt.E17) }
+
+// BenchmarkE18Trace runs the traced-query observability demo (byte-identity
+// check plus per-hop report assembly on the lossy corridor).
+func BenchmarkE18Trace(b *testing.B) { benchExperiment(b, expt.E18) }
 
 // --- batch engine micro-benchmarks ---
 //
@@ -177,6 +182,23 @@ func BenchmarkEngineBatch(b *testing.B) {
 	eng.RouteBatch(queries) // warm the cache outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		eng.RouteBatch(queries)
+	}
+}
+
+// BenchmarkEngineBatchTraced is BenchmarkEngineBatch with the tracer
+// installed: the gap between the two prices the observability layer when ON.
+// (When disabled — the default — the only cost is a nil check per emit site;
+// compare BenchmarkEngineBatch across commits for the ≤ 2% acceptance bound.)
+func BenchmarkEngineBatchTraced(b *testing.B) {
+	nw, queries := benchEngineSetup(b)
+	eng := core.NewEngine(nw, core.EngineConfig{})
+	tr := trace.New(0)
+	eng.SetTracer(tr)
+	eng.RouteBatch(queries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
 		eng.RouteBatch(queries)
 	}
 }

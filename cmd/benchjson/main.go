@@ -3,9 +3,13 @@
 // text stream passes through unchanged on stdout (benchstat consumes the text
 // form, so `make bench` tees through this tool and keeps both).
 //
+// With -metrics the trace-metrics JSON written by `hybridroute -trace` (or
+// the E18 artifact) is embedded verbatim as a "metrics" block, so one CI
+// artifact carries both the perf trajectory and the observability counters.
+//
 // Usage:
 //
-//	go test -bench=. -benchmem | benchjson -o BENCH_results.json
+//	go test -bench=. -benchmem | benchjson -o BENCH_results.json [-metrics trace.json]
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -29,25 +34,27 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// benchFile is the JSON document: run environment plus every benchmark line.
+// benchFile is the JSON document: run environment plus every benchmark line,
+// and optionally the trace-metrics block embedded via -metrics.
 type benchFile struct {
-	GoOS       string        `json:"goos,omitempty"`
-	GoArch     string        `json:"goarch,omitempty"`
-	Pkg        string        `json:"pkg,omitempty"`
-	CPU        string        `json:"cpu,omitempty"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	GoOS       string          `json:"goos,omitempty"`
+	GoArch     string          `json:"goarch,omitempty"`
+	Pkg        string          `json:"pkg,omitempty"`
+	CPU        string          `json:"cpu,omitempty"`
+	Benchmarks []benchResult   `json:"benchmarks"`
+	Metrics    json.RawMessage `json:"metrics,omitempty"`
 }
 
-func main() {
-	out := flag.String("o", "BENCH_results.json", "output JSON path")
-	flag.Parse()
-
+// convert reads `go test -bench` text from r, echoes every line to echo
+// unchanged, and returns the parsed document. metricsJSON, when non-nil, is
+// validated and embedded verbatim.
+func convert(r io.Reader, echo io.Writer, metricsJSON []byte) (benchFile, error) {
 	doc := benchFile{Benchmarks: []benchResult{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw benchstat-consumable text through
+		fmt.Fprintln(echo, line) // pass the raw benchstat-consumable text through
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -64,7 +71,32 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatalf("benchjson: read: %v", err)
+		return doc, fmt.Errorf("read: %w", err)
+	}
+	if metricsJSON != nil {
+		if !json.Valid(metricsJSON) {
+			return doc, fmt.Errorf("metrics file is not valid JSON")
+		}
+		doc.Metrics = json.RawMessage(metricsJSON)
+	}
+	return doc, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output JSON path")
+	metrics := flag.String("metrics", "", "trace-metrics JSON file to embed as the \"metrics\" block")
+	flag.Parse()
+
+	var metricsJSON []byte
+	if *metrics != "" {
+		var err error
+		if metricsJSON, err = os.ReadFile(*metrics); err != nil {
+			log.Fatalf("benchjson: metrics: %v", err)
+		}
+	}
+	doc, err := convert(os.Stdin, os.Stdout, metricsJSON)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

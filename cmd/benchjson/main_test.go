@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// TestConvertGolden pins the full JSON schema benchjson emits — environment
+// header, parsed benchmark lines (malformed ones skipped) and the embedded
+// metrics block — against testdata/golden.json. Run with -update to regenerate
+// after an intentional schema change.
+func TestConvertGolden(t *testing.T) {
+	in, err := os.ReadFile(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := os.ReadFile(filepath.Join("testdata", "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader(in), &echo, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The text stream must pass through byte-for-byte for benchstat.
+	if !bytes.Equal(echo.Bytes(), in) {
+		t.Error("echoed text differs from input")
+	}
+
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON schema drifted from golden file (run `go test ./cmd/benchjson -update` if intentional):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConvertWithoutMetrics checks the metrics block is absent (not null)
+// when no metrics file is given.
+func TestConvertWithoutMetrics(t *testing.T) {
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader([]byte("BenchmarkX-4 10 100 ns/op\n")), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte(`"metrics"`)) {
+		t.Errorf("metrics key must be omitted when not provided: %s", blob)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkX" || doc.Benchmarks[0].Procs != 4 {
+		t.Errorf("parsed %+v", doc.Benchmarks)
+	}
+}
+
+// TestConvertRejectsInvalidMetrics pins the error path for a corrupt file.
+func TestConvertRejectsInvalidMetrics(t *testing.T) {
+	var echo bytes.Buffer
+	if _, err := convert(bytes.NewReader(nil), &echo, []byte("{not json")); err == nil {
+		t.Fatal("invalid metrics JSON must be rejected")
+	}
+}

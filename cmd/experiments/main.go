@@ -1,10 +1,10 @@
-// Command experiments runs the full experiment suite E1–E17 (see DESIGN.md)
+// Command experiments runs the full experiment suite E1–E18 (see DESIGN.md)
 // and prints each result table together with its claim check; EXPERIMENTS.md
 // records a reference run.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed 1] [-only E2] [-workers 8]
+//	experiments [-quick] [-seed 1] [-only E2] [-workers 8] [-trace DIR] [-pprof FILE]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"hybridroute/internal/expt"
 )
@@ -23,14 +24,34 @@ func main() {
 	only := flag.String("only", "", "run a single experiment, e.g. E2")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
 	workers := flag.Int("workers", 0, "batch-engine worker pool size for E15 (0 = GOMAXPROCS)")
+	traceDir := flag.String("trace", "", "write E18's traced-query artifacts (E18_trace.json/.svg) into this directory")
+	pprofFile := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
-	opt := expt.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	stopProfile := func() {}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		stopProfile = pprof.StopCPUProfile
+	}
+	defer stopProfile()
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			log.Fatalf("trace dir: %v", err)
+		}
+	}
+
+	opt := expt.Options{Quick: *quick, Seed: *seed, Workers: *workers, TraceDir: *traceDir}
 	fns := map[string]func(expt.Options) (*expt.Result, error){
 		"E1": expt.E1, "E2": expt.E2, "E3": expt.E3, "E4": expt.E4, "E5": expt.E5,
 		"E6": expt.E6, "E7": expt.E7, "E8": expt.E8, "E9": expt.E9, "E10": expt.E10,
 		"E11": expt.E11, "E12": expt.E12, "E13": expt.E13, "E14": expt.E14,
-		"E15": expt.E15, "E16": expt.E16, "E17": expt.E17,
+		"E15": expt.E15, "E16": expt.E16, "E17": expt.E17, "E18": expt.E18,
 	}
 
 	var results []*expt.Result
@@ -81,6 +102,7 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Printf("%d experiment(s) failed their claim check\n", failures)
+		stopProfile()
 		os.Exit(1)
 	}
 	fmt.Println("all experiment claim checks passed")

@@ -6,26 +6,36 @@
 // (worker pool + sharded plan cache) instead of one sequential Route call
 // per query, and the report adds throughput and cache statistics.
 //
+// With -trace the run records structured events through the whole stack
+// (simulator sends/drops/deliveries, per-hop transport attempts, plan-cache
+// effectiveness), prints a traced sample query with its per-hop retransmit
+// breakdown and competitive ratio, and writes the aggregated metrics plus the
+// sample report as JSON to the given file.
+//
 // Usage:
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
 //	            [-batch] [-workers 0] [-cache 4096]
 //	            [-loss 0.05] [-crash 5] [-retries 3] [-lossaware]
+//	            [-trace FILE] [-pprof FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"hybridroute/internal/core"
 	"hybridroute/internal/sim"
 	"hybridroute/internal/stats"
+	"hybridroute/internal/trace"
 	"hybridroute/internal/workload"
 )
 
@@ -43,7 +53,25 @@ func main() {
 	crash := flag.Int("crash", 0, "number of crashed nodes to inject into the delivery run")
 	retries := flag.Int("retries", core.DefaultRetries, "per-hop retry budget for fault-injected delivery")
 	lossAware := flag.Bool("lossaware", false, "plan around observed lossy links (ETX weights) in the delivery run")
+	traceFile := flag.String("trace", "", "record stack-wide trace events; write metrics + a traced sample query as JSON to this file")
+	pprofFile := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if err := validateFlags(*loss, *crash, *retries, *lossAware); err != nil {
+		log.Fatalf("flags: %v", err)
+	}
+	stopProfile := func() {}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		stopProfile = pprof.StopCPUProfile
+	}
+	defer stopProfile()
 
 	sc, err := buildScenario(*scenario, *seed, *n, *holes)
 	if err != nil {
@@ -56,6 +84,11 @@ func main() {
 	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed)})
 	if err != nil {
 		log.Fatalf("preprocess: %v", err)
+	}
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		tracer = trace.New(0)
+		nw.SetTracer(tracer)
 	}
 	r := nw.Report
 	fmt.Printf("\npreprocessing: %d rounds total (LDel %d, rings %d, tree %d, flood %d, domset %d)\n",
@@ -85,6 +118,7 @@ func main() {
 		log.Fatal("-batch currently supports the hull router only")
 	case *batch:
 		eng := core.NewEngine(nw, core.EngineConfig{Workers: *workers, CacheSize: *cacheSize})
+		eng.SetTracer(tracer)
 		start := time.Now()
 		outcomes = eng.RouteBatch(pairs)
 		dur := time.Since(start)
@@ -127,6 +161,7 @@ func main() {
 		sum.Mean, sum.P95, sum.Max)
 	if sum.Max > 35.37 {
 		fmt.Println("NOTE: max stretch exceeds the overlay bound (degenerate geometry or intersecting hulls)")
+		stopProfile()
 		os.Exit(1)
 	}
 
@@ -135,6 +170,62 @@ func main() {
 	if *loss > 0 || *crash > 0 {
 		runFaultedDelivery(nw, pairs, *loss, *crash, *retries, *seed, *lossAware)
 	}
+
+	if tracer != nil {
+		if err := writeTraceOutput(*traceFile, nw, tracer, pairs); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+}
+
+// validateFlags rejects fault-model flag combinations that would otherwise
+// run silently with surprising semantics: probabilities outside [0, 1],
+// negative counts, and -lossaware without any fault-injected delivery run to
+// act on.
+func validateFlags(loss float64, crash, retries int, lossAware bool) error {
+	if loss < 0 || loss > 1 {
+		return fmt.Errorf("-loss %v is not a probability in [0, 1]", loss)
+	}
+	if crash < 0 {
+		return fmt.Errorf("-crash %d must be >= 0", crash)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries %d must be >= 0 (0 means the default of %d)", retries, core.DefaultRetries)
+	}
+	if lossAware && loss == 0 && crash == 0 {
+		return fmt.Errorf("-lossaware needs a fault-injected delivery run: set -loss and/or -crash")
+	}
+	return nil
+}
+
+// writeTraceOutput runs one traced sample query (the first workload pair),
+// prints its per-hop report, and writes the aggregated stack-wide metrics
+// plus that report as JSON to path.
+func writeTraceOutput(path string, nw *core.Network, tracer *trace.Tracer, pairs []core.Query) error {
+	var report *core.TraceReport
+	if len(pairs) > 0 {
+		r, _, err := nw.TraceQuery(pairs[0].S, pairs[0].T, core.TransportOptions{PayloadWords: 32})
+		if err != nil {
+			fmt.Printf("\ntraced sample query %d->%d failed: %v\n", pairs[0].S, pairs[0].T, err)
+		} else {
+			report = r
+			fmt.Printf("\ntraced sample query:\n%s", r)
+		}
+	}
+	reg := trace.NewRegistry()
+	reg.MergeEvents(tracer.Events())
+	fmt.Printf("\ntrace: %d events recorded (%d dropped past the buffer limit)\n", tracer.Len(), tracer.Dropped())
+	fmt.Print(reg.PrometheusText())
+	blob, err := json.MarshalIndent(struct {
+		Metrics *trace.Registry   `json:"metrics"`
+		Sample  *core.TraceReport `json:"sample,omitempty"`
+		Events  int               `json:"events"`
+		Dropped uint64            `json:"events_dropped"`
+	}{reg, report, tracer.Len(), tracer.Dropped()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // runFaultedDelivery installs the seeded fault model and re-answers the query

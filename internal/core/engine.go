@@ -19,6 +19,7 @@ import (
 
 	"hybridroute/internal/geom"
 	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
 )
 
 // Query is one routing request for the batch engine.
@@ -63,6 +64,10 @@ type Engine struct {
 	nw      *Network
 	workers int
 	shards  []cacheShard
+	// tracer is the installed event recorder (nil: tracing disabled). The
+	// engine emits cache hit/miss/evict events per plan-fragment lookup and
+	// worker-queue depth events while draining a batch.
+	tracer *trace.Tracer
 }
 
 // NewEngine builds a batch engine over a preprocessed network.
@@ -101,6 +106,15 @@ func (e *Engine) Network() *Network { return e.nw }
 // Workers returns the effective worker pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetTracer installs (nil: removes) the event recorder for the engine's own
+// events (cache effectiveness, worker-queue depth). It does not touch the
+// shared Network's tracer — call Network().SetTracer for transport and
+// simulator events. Tracing never changes outcomes or cache behaviour.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// label names the cached planner in trace events.
+func (e *Engine) label() string { return "engine" }
+
 // Route answers a single query through the plan cache. The outcome is
 // identical to Network.Route on the same pair.
 func (e *Engine) Route(s, t sim.NodeID) Outcome {
@@ -132,6 +146,9 @@ func (e *Engine) RouteBatch(queries []Query) []Outcome {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
+				}
+				if e.tracer != nil {
+					e.tracer.Emit(trace.Event{Kind: trace.KindQueueDepth, Value: len(queries) - i})
 				}
 				out[i] = e.Route(queries[i].S, queries[i].T)
 			}
@@ -230,14 +247,25 @@ func (e *Engine) lookup(k planKey) (planValue, bool) {
 	if len(e.shards) == 0 {
 		return planValue{}, false
 	}
-	return e.shards[shardOf(k, len(e.shards))].get(k)
+	v, hit := e.shards[shardOf(k, len(e.shards))].get(k)
+	if e.tracer != nil {
+		kind := trace.KindCacheMiss
+		if hit {
+			kind = trace.KindCacheHit
+		}
+		e.tracer.Emit(trace.Event{Kind: kind, From: int(k.a), To: int(k.b)})
+	}
+	return v, hit
 }
 
 func (e *Engine) store(k planKey, v planValue) {
 	if len(e.shards) == 0 {
 		return
 	}
-	e.shards[shardOf(k, len(e.shards))].put(k, v)
+	evicted := e.shards[shardOf(k, len(e.shards))].put(k, v)
+	if e.tracer != nil && evicted > 0 {
+		e.tracer.Emit(trace.Event{Kind: trace.KindCacheEvict, Value: evicted})
+	}
 }
 
 // copyIDs returns a defensive copy: cached slices must never share backing
@@ -294,19 +322,24 @@ func (s *cacheShard) get(k planKey) (planValue, bool) {
 	return el.Value.(*cacheItem).val, true
 }
 
-func (s *cacheShard) put(k planKey, v planValue) {
+// put stores a value and returns how many entries the LRU evicted to make
+// room (so the caller can trace evictions without re-locking).
+func (s *cacheShard) put(k planKey, v planValue) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[k]; ok {
 		el.Value.(*cacheItem).val = v
 		s.order.MoveToFront(el)
-		return
+		return 0
 	}
+	evicted := 0
 	for s.order.Len() >= s.cap {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
 		delete(s.entries, oldest.Value.(*cacheItem).key)
 		s.evictions++
+		evicted++
 	}
 	s.entries[k] = s.order.PushFront(&cacheItem{key: k, val: v})
+	return evicted
 }

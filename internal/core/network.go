@@ -28,6 +28,7 @@ import (
 	"hybridroute/internal/overlaytree"
 	"hybridroute/internal/routing"
 	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
 	"hybridroute/internal/udg"
 	"hybridroute/internal/vis"
 )
@@ -131,6 +132,11 @@ type Network struct {
 	// transfer is actually observed failing, so its presence never perturbs
 	// lossless runs.
 	Link *LinkStats
+
+	// tracer is the installed event recorder (nil: tracing disabled). The
+	// transport and planner emit through it; SetTracer shares it with the
+	// simulator so one recorder sees the whole stack.
+	tracer *trace.Tracer
 
 	hullNodeOf map[geom.Point]sim.NodeID
 	nodeAtPt   map[geom.Point]sim.NodeID
@@ -389,6 +395,20 @@ func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network)
 	nw.Report.MaxWords = max.TotalWords()
 	return nw, nil
 }
+
+// SetTracer installs (nil: removes) the structured event recorder on the
+// network and its simulator: the simulator emits round/send/drop/deliver
+// events, the transport per-hop attempt/ack/nack/retry/replan events tagged
+// with the planner that produced each leg, and loss-aware planning detour
+// events. Tracing never changes routing outcomes — plans, rounds and message
+// counts are byte-identical with and without a tracer (pinned by tests).
+func (nw *Network) SetTracer(tr *trace.Tracer) {
+	nw.tracer = tr
+	nw.Sim.SetTracer(tr)
+}
+
+// Tracer returns the installed event recorder (nil when tracing is off).
+func (nw *Network) Tracer() *trace.Tracer { return nw.tracer }
 
 // HoleCount returns the number of detected radio holes.
 func (nw *Network) HoleCount() int { return len(nw.Holes.Holes) }

@@ -7,6 +7,7 @@ import (
 	"hybridroute/internal/geom"
 	"hybridroute/internal/routing"
 	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
 	"hybridroute/internal/udg"
 	"hybridroute/internal/vis"
 )
@@ -79,12 +80,17 @@ func (nw *Network) caseOf(s, t sim.NodeID) (int, int, int) {
 // itself is the uncached source; Engine layers a sharded LRU cache on top of
 // the same Network so batched and repeated queries skip recomputation.
 // Implementations must be safe for concurrent use and must return slices the
-// caller may append to.
+// caller may append to. label names the implementation in trace events so a
+// traced query shows which planner produced each leg.
 type planSource interface {
 	groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool)
 	exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID, sim.NodeID, bool)
 	overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool)
+	label() string
 }
+
+// label names the uncached planner in trace events.
+func (nw *Network) label() string { return "network" }
 
 // Route answers a query with the convex-hull-abstraction protocol of
 // Section 4.3: the source learns the target position over a long-range
@@ -483,6 +489,9 @@ func (nw *Network) applyLossDetour(out *Outcome, t sim.NodeID, avoid map[sim.Nod
 	out.Path = path
 	out.Waypoints = nil
 	out.LossDetour = true
+	if nw.tracer != nil {
+		nw.tracer.Emit(trace.Event{Kind: trace.KindDetour, From: int(path[0]), To: int(t), Plan: planLDelETX})
+	}
 	return true
 }
 

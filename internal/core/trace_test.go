@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
+)
+
+// TestTracingKeepsTransportByteIdentical pins the tentpole acceptance
+// criterion: a run with a tracer installed must produce byte-identical
+// routing and transport observables to the identical run without one — under
+// fault injection, where the reliable protocol's every branch is live.
+func TestTracingKeepsTransportByteIdentical(t *testing.T) {
+	build := func(traced bool) *Network {
+		nw := prepScenario(t, 0.55, 8, 8, 1.8)
+		if err := nw.Sim.SetFaults(sim.FaultConfig{AdHocLoss: 0.05, LongLoss: 0.05, Seed: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if traced {
+			nw.SetTracer(trace.New(0))
+		}
+		return nw
+	}
+	plain := build(false)
+	traced := build(true)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		s := sim.NodeID(rng.Intn(plain.G.N()))
+		d := sim.NodeID(rng.Intn(plain.G.N()))
+		r0, err0 := plain.RouteOnSim(s, d, 32)
+		r1, err1 := traced.RouteOnSim(s, d, 32)
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("%d->%d: error mismatch: %v vs %v", s, d, err0, err1)
+		}
+		if !transportReportsEqual(r0, r1) {
+			t.Fatalf("%d->%d: reports diverged under tracing:\n%+v\n%+v", s, d, r0, r1)
+		}
+	}
+	if traced.Tracer().Len() == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	if plain.Tracer() != nil {
+		t.Fatal("plain network must have no tracer")
+	}
+}
+
+// TestTracingKeepsEngineBatchIdentical pins the same criterion on the batch
+// engine: cache behaviour and batch outcomes are unchanged by tracing.
+func TestTracingKeepsEngineBatchIdentical(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]Query, 60)
+	for i := range queries {
+		queries[i] = Query{S: sim.NodeID(rng.Intn(nw.G.N())), T: sim.NodeID(rng.Intn(nw.G.N()))}
+	}
+	plain := NewEngine(nw, EngineConfig{Workers: 4, CacheSize: 256})
+	traced := NewEngine(nw, EngineConfig{Workers: 4, CacheSize: 256})
+	tr := trace.New(0)
+	traced.SetTracer(tr)
+
+	out0 := plain.RouteBatch(queries)
+	out1 := traced.RouteBatch(queries)
+	for i := range out0 {
+		a, b := out0[i], out1[i]
+		if a.Reached != b.Reached || a.Case != b.Case || len(a.Path) != len(b.Path) {
+			t.Fatalf("query %d: outcomes diverged under tracing:\n%+v\n%+v", i, a, b)
+		}
+		for j := range a.Path {
+			if a.Path[j] != b.Path[j] {
+				t.Fatalf("query %d: path diverged at hop %d", i, j)
+			}
+		}
+	}
+	s0, s1 := plain.Stats(), traced.Stats()
+	if s0.Hits != s1.Hits || s0.Misses != s1.Misses || s0.Evictions != s1.Evictions {
+		t.Errorf("cache behaviour diverged under tracing: %+v vs %+v", s0, s1)
+	}
+	counts := tr.CountByKind()
+	if counts[trace.KindCacheHit.String()]+counts[trace.KindCacheMiss.String()] == 0 {
+		t.Error("traced engine emitted no cache events")
+	}
+	if counts[trace.KindQueueDepth.String()] == 0 {
+		t.Error("traced engine emitted no queue-depth events")
+	}
+}
+
+// TestTraceQueryAssemblesReport drives one query through a lossy region and
+// checks the assembled per-hop report: delivery, a positive competitive
+// ratio, per-hop retransmits where the loss bit, and plan attribution.
+func TestTraceQueryAssemblesReport(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	s, d := transportPair(t, nw)
+	if err := nw.Sim.SetFaults(sim.FaultConfig{Seed: 6, LossRegions: []sim.LossRegion{
+		{Center: geom.Pt(4, 1.2), Radius: 1.6, AdHocLoss: 0.55},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetTracer(trace.New(0))
+	report, rep, err := nw.TraceQuery(s, d, TransportOptions{PayloadWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Delivered || !rep.DeliveredSim {
+		t.Fatal("traced query must deliver")
+	}
+	if len(report.Hops) == 0 {
+		t.Fatal("report has no hops")
+	}
+	if report.Rounds != rep.Rounds {
+		t.Errorf("report rounds %d != transport rounds %d", report.Rounds, rep.Rounds)
+	}
+	if report.TraversedLength <= 0 {
+		t.Errorf("traversed length %f must be positive", report.TraversedLength)
+	}
+	if report.ShortestLength <= 0 || report.CompetitiveRatio <= 0 {
+		t.Errorf("competitive baseline missing: shortest %f ratio %f", report.ShortestLength, report.CompetitiveRatio)
+	}
+	if report.GeoDistance <= 0 || report.TraversedLength < report.GeoDistance {
+		t.Errorf("traversed %f cannot beat the straight line %f", report.TraversedLength, report.GeoDistance)
+	}
+	hopRetrans := 0
+	for _, h := range report.Hops {
+		if h.Attempts > 1 {
+			hopRetrans += h.Attempts - 1
+		}
+		if h.Plan == "" {
+			t.Errorf("hop %d->%d missing plan attribution", h.From, h.To)
+		}
+	}
+	if hopRetrans != report.HopRetrans {
+		t.Errorf("per-hop retransmit sum %d != report %d", hopRetrans, report.HopRetrans)
+	}
+	if len(report.PlanPath) == 0 {
+		t.Error("report has no plan path")
+	}
+	out := report.String()
+	for _, want := range []string{"delivered", "competitive ratio", "plans:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceQueryNeedsTracer pins the explicit error when no tracer is set.
+func TestTraceQueryNeedsTracer(t *testing.T) {
+	nw := prepScenario(t, 0.6, 5, 5, 1.2)
+	s, d := transportPair(t, nw)
+	if _, _, err := nw.TraceQuery(s, d, TransportOptions{}); err == nil {
+		t.Fatal("TraceQuery without a tracer must fail")
+	}
+}
+
+// TestTransportFillsReportOnMaxRounds pins the satellite bugfix: when the
+// simulator aborts on MaxRounds mid-delivery, the transport report still
+// carries the rounds and messages genuinely spent (previously both Run error
+// paths discarded the counter probe, reporting zero cost for real work).
+func TestTransportFillsReportOnMaxRounds(t *testing.T) {
+	for _, reliable := range []bool{false, true} {
+		nw := prepScenario(t, 0.55, 8, 8, 1.8)
+		s, d := transportPair(t, nw)
+		nw.Sim.SetMaxRounds(4)
+		rep, err := nw.RouteOnSimOpt(s, d, TransportOptions{PayloadWords: 64, Reliable: reliable})
+		if err == nil {
+			t.Fatalf("reliable=%v: a 4-round budget must abort a cross-network delivery", reliable)
+		}
+		if !strings.Contains(err.Error(), "MaxRounds") {
+			t.Fatalf("reliable=%v: expected a MaxRounds abort, got %v", reliable, err)
+		}
+		if rep.Rounds != 4 {
+			t.Errorf("reliable=%v: partial report rounds = %d, want 4", reliable, rep.Rounds)
+		}
+		if rep.LongMsgs == 0 {
+			t.Errorf("reliable=%v: partial report must count the position handshake", reliable)
+		}
+		if rep.DeliveredSim {
+			t.Errorf("reliable=%v: aborted run must not report delivery", reliable)
+		}
+	}
+}

@@ -21,6 +21,16 @@ import (
 	"fmt"
 
 	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
+)
+
+// Plan-source labels for trace events: the hybrid planners name themselves
+// (planSource.label — "network" or "engine"); the LDel² escape paths used
+// when the geometric plan is unavailable or loss-detoured carry these.
+const (
+	planLDelAvoid    = "ldel-avoid"
+	planLDelETX      = "ldel-etx"
+	planLDelFallback = "ldel-fallback"
 )
 
 // posQuery asks the destination for its coordinates over a long-range link
@@ -48,12 +58,15 @@ func (m dataMsg) CarriedIDs() []sim.NodeID { return m.path }
 // per-sender transfer sequence number (for ack matching and duplicate
 // suppression after retransmissions) and the query source's ID, so any holder
 // can reach the source over a long-range link when its next hop stops
-// acknowledging.
+// acknowledging. plan is a diagnostic tag naming the planner that produced
+// the remaining path — it rides along for trace attribution only and carries
+// no modeled words.
 type rdataMsg struct {
 	n       int
 	src     sim.NodeID
 	path    []sim.NodeID
 	payload int
+	plan    string
 }
 
 func (m rdataMsg) Words() int               { return m.payload + len(m.path) + 2 }
@@ -73,10 +86,12 @@ type nackMsg struct {
 func (nackMsg) Words() int { return 2 }
 
 // resumeMsg hands a replanned remaining path back to a stranded holder
-// (long-range, source → holder). The path excludes the holder itself.
+// (long-range, source → holder). The path excludes the holder itself; plan
+// tags the planner that produced it (trace attribution only, zero words).
 type resumeMsg struct {
 	seq  int
 	path []sim.NodeID
+	plan string
 }
 
 func (m resumeMsg) Words() int               { return len(m.path) + 2 }
@@ -185,15 +200,20 @@ func (nw *Network) routeOnSim(planner planSource, s, t sim.NodeID, opt Transport
 	// The paper's standing assumption: (s, t) ∈ E.
 	nw.Sim.Teach(s, t)
 
+	initialPlan := planner.label()
+	if rep.PlanFallback {
+		initialPlan = planLDelFallback
+	}
 	if opt.Reliable || nw.Sim.FaultsActive() {
 		lossAware := opt.LossAware == LossAwareOn ||
 			(opt.LossAware == LossAwareAuto && nw.Sim.FaultsActive())
 		if lossAware && nw.applyLossDetour(&rep.Outcome, t, nil) {
 			rep.Detours++
+			initialPlan = planLDelETX
 		}
-		return nw.deliverReliable(planner, s, t, opt, rep, lossAware)
+		return nw.deliverReliable(planner, s, t, opt, rep, lossAware, initialPlan)
 	}
-	return nw.deliverLossless(s, t, opt.PayloadWords, rep)
+	return nw.deliverLossless(s, t, opt.PayloadWords, rep, initialPlan)
 }
 
 // counterProbe snapshots per-node counters so a delivery can report exactly
@@ -224,10 +244,12 @@ func (p counterProbe) fill(nw *Network, rep *TransportReport) {
 
 // deliverLossless is the paper's fire-and-forget transport, unchanged except
 // that a plan exhausting at the wrong node is now recorded and reported as a
-// specific misrouted-plan error instead of a generic non-arrival.
-func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *TransportReport) (*TransportReport, error) {
+// specific misrouted-plan error instead of a generic non-arrival. planLabel
+// names the planner that produced the plan, for trace attribution.
+func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *TransportReport, planLabel string) (*TransportReport, error) {
 	path := rep.Path
 	pr := nw.probe()
+	tr := nw.tracer
 
 	// Per-node flags keep the protocol state race-free under parallel
 	// simulator stepping.
@@ -251,6 +273,9 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 					// single-node plan with s != t has nowhere to forward to
 					// and must not be counted as delivery at t.
 					if v == s && len(path) > 1 {
+						if tr != nil {
+							tr.Emit(trace.Event{Kind: trace.KindHopSend, Round: round, From: int(v), To: int(path[1]), Attempt: 1, Plan: planLabel})
+						}
 						ctx.SendAdHoc(path[1], dataMsg{path: path[2:], payload: payloadWords})
 					}
 				case dataMsg:
@@ -259,6 +284,9 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 						return
 					}
 					if len(msg.path) > 0 {
+						if tr != nil {
+							tr.Emit(trace.Event{Kind: trace.KindHopSend, Round: round, From: int(v), To: int(msg.path[0]), Attempt: 1, Plan: planLabel})
+						}
 						ctx.SendAdHoc(msg.path[0], dataMsg{path: msg.path[1:], payload: msg.payload})
 					} else {
 						// Plan exhausted before reaching t: the payload is
@@ -270,6 +298,11 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 		})
 	})
 	if _, err := nw.Sim.Run(); err != nil {
+		// Run aborted (MaxRounds exhaustion or a strict-mode violation): the
+		// rounds and messages spent up to the abort are real cost — fill the
+		// report before returning so callers that tolerate partial failures
+		// (experiment sweeps) still account the work.
+		pr.fill(nw, rep)
 		return rep, err
 	}
 	pr.fill(nw, rep)
@@ -353,8 +386,9 @@ type rsourceState struct {
 
 // deliverReliable runs the ack/retry/replan protocol for one query. With
 // lossAware set, every replan consults the link-quality estimates and may
-// substitute an ETX-weighted detour for the geometric plan.
-func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport, lossAware bool) (*TransportReport, error) {
+// substitute an ETX-weighted detour for the geometric plan. initialPlan
+// labels the planner that produced the starting plan, for trace attribution.
+func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport, lossAware bool, initialPlan string) (*TransportReport, error) {
 	retries := opt.Retries
 	if retries <= 0 {
 		retries = DefaultRetries
@@ -367,6 +401,7 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		timeout = (len(rep.Path)+8)*(ackWait+1)*(retries+1) + 32
 	}
 	pr := nw.probe()
+	tr := nw.tracer
 	deadline := nw.Sim.Rounds() + timeout
 
 	st := make([]rnode, nw.G.N())
@@ -380,30 +415,40 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 	// cache), loss-detoured when the mode is on; if that plan crosses a
 	// dead node, through an LDel² shortest path with the dead set removed
 	// (ETX-weighted in loss-aware mode, so the escape route also prefers
-	// low-loss links).
-	replanFrom := func(holder sim.NodeID) ([]sim.NodeID, bool) {
+	// low-loss links). The second return names the planner that produced
+	// the path, for trace attribution.
+	replanFrom := func(holder sim.NodeID) ([]sim.NodeID, string, bool) {
 		out := nw.route(planner, holder, t, false)
 		if out.Reached && !pathHitsAny(out.Path, src.dead) {
+			plan := planner.label()
+			if out.PlanFallback {
+				plan = planLDelFallback
+			}
 			if lossAware && nw.applyLossDetour(&out, t, src.dead) {
 				src.detours++
+				plan = planLDelETX
 			}
-			return out.Path, true
+			return out.Path, plan, true
 		}
 		if lossAware {
 			if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, src.dead)); ok {
-				return p, true
+				return p, planLDelETX, true
 			}
 		}
 		if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, src.dead); ok {
-			return p, true
+			return p, planLDelAvoid, true
 		}
-		return nil, false
+		return nil, "", false
 	}
 
-	// sendData starts (and registers) one transfer from v to `to`.
-	sendData := func(ctx *sim.Context, me *rnode, round int, to sim.NodeID, path []sim.NodeID, payload int) {
-		m := rdataMsg{n: me.nextN, src: s, path: path, payload: payload}
+	// sendData starts (and registers) one transfer from v to `to`; plan tags
+	// the planner whose path this leg executes.
+	sendData := func(ctx *sim.Context, me *rnode, round int, to sim.NodeID, path []sim.NodeID, payload int, plan string) {
+		m := rdataMsg{n: me.nextN, src: s, path: path, payload: payload, plan: plan}
 		me.nextN++
+		if tr != nil {
+			tr.Emit(trace.Event{Kind: trace.KindHopSend, Round: round, From: int(ctx.ID()), To: int(to), Seq: m.n, Attempt: 1, Plan: plan})
+		}
 		ctx.SendAdHoc(to, m)
 		me.pends = append(me.pends, &rpending{to: to, msg: m, sentAt: round, attempts: 1})
 	}
@@ -425,7 +470,7 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					if v == s && !src.havePos {
 						src.havePos = true
 						if len(rep.Path) > 1 {
-							sendData(ctx, me, round, rep.Path[1], rep.Path[2:], opt.PayloadWords)
+							sendData(ctx, me, round, rep.Path[1], rep.Path[2:], opt.PayloadWords, initialPlan)
 						} else {
 							// A plan of one node with s != t cannot deliver.
 							me.misrouted = true
@@ -449,11 +494,14 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					case len(msg.path) == 0:
 						me.misrouted = true
 					default:
-						sendData(ctx, me, round, msg.path[0], msg.path[1:], msg.payload)
+						sendData(ctx, me, round, msg.path[0], msg.path[1:], msg.payload, msg.plan)
 					}
 				case hopAck:
 					for i, p := range me.pends {
 						if p.to == env.From && p.msg.n == msg.n {
+							if tr != nil {
+								tr.Emit(trace.Event{Kind: trace.KindHopAck, Round: round, From: int(v), To: int(p.to), Seq: p.msg.n, Attempt: p.attempts, Plan: p.msg.plan})
+							}
 							me.obs = append(me.obs, linkObs{to: p.to, attempts: p.attempts, acked: true})
 							me.pends = append(me.pends[:i], me.pends[i+1:]...)
 							break
@@ -467,12 +515,15 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 						src.dead[msg.dead] = true
 						src.replans++
 					}
-					full, ok := replanFrom(env.From)
+					full, plan, ok := replanFrom(env.From)
 					if !ok || len(full) < 2 {
 						src.failure = fmt.Sprintf("no path from %d to %d around dead nodes %v", env.From, t, deadList(src.dead))
 						continue
 					}
-					ctx.SendLong(env.From, resumeMsg{seq: msg.seq, path: full[1:]})
+					if tr != nil {
+						tr.Emit(trace.Event{Kind: trace.KindReplan, Round: round, From: int(env.From), To: int(t), Plan: plan, Value: len(src.dead)})
+					}
+					ctx.SendLong(env.From, resumeMsg{seq: msg.seq, path: full[1:], plan: plan})
 				case resumeMsg:
 					for i, sd := range me.strands {
 						if sd.seq != msg.seq {
@@ -482,7 +533,7 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 						if len(msg.path) == 0 {
 							me.misrouted = true
 						} else {
-							sendData(ctx, me, round, msg.path[0], msg.path[1:], sd.payload)
+							sendData(ctx, me, round, msg.path[0], msg.path[1:], sd.payload, msg.plan)
 						}
 						break
 					}
@@ -518,6 +569,9 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					p.attempts++
 					p.sentAt = round
 					me.retrans++
+					if tr != nil {
+						tr.Emit(trace.Event{Kind: trace.KindHopRetry, Round: round, From: int(v), To: int(p.to), Seq: p.msg.n, Attempt: p.attempts, Plan: p.msg.plan})
+					}
 					ctx.SendAdHoc(p.to, p.msg)
 					i++
 					continue
@@ -532,12 +586,15 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 						src.dead[p.to] = true
 						src.replans++
 					}
-					full, ok := replanFrom(s)
+					full, plan, ok := replanFrom(s)
 					if !ok || len(full) < 2 {
 						src.failure = fmt.Sprintf("no path from %d to %d around dead nodes %v", s, t, deadList(src.dead))
 						continue
 					}
-					sendData(ctx, me, round, full[1], full[2:], p.msg.payload)
+					if tr != nil {
+						tr.Emit(trace.Event{Kind: trace.KindReplan, Round: round, From: int(s), To: int(t), Plan: plan, Value: len(src.dead)})
+					}
+					sendData(ctx, me, round, full[1], full[2:], p.msg.payload, plan)
 				} else {
 					// The first failure notice is a first send, not a
 					// retransmission — only the timer-driven nack resends
@@ -545,6 +602,9 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					me.nextN++
 					sd := &rstrand{seq: me.nextN, payload: p.msg.payload, sentAt: round, attempts: 1, dead: p.to}
 					me.strands = append(me.strands, sd)
+					if tr != nil {
+						tr.Emit(trace.Event{Kind: trace.KindHopNack, Round: round, From: int(v), To: int(p.to), Seq: sd.seq, Attempt: 1, Plan: p.msg.plan})
+					}
 					ctx.SendLong(s, nackMsg{seq: sd.seq, dead: p.to})
 				}
 			}
@@ -567,6 +627,9 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 				sd.attempts++
 				sd.sentAt = round
 				me.retrans++
+				if tr != nil {
+					tr.Emit(trace.Event{Kind: trace.KindHopNack, Round: round, From: int(v), To: int(sd.dead), Seq: sd.seq, Attempt: sd.attempts})
+				}
 				ctx.SendLong(s, nackMsg{seq: sd.seq, dead: sd.dead})
 				i++
 			}
@@ -575,17 +638,25 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 			}
 		})
 	})
+	fillDiagnostics := func() {
+		pr.fill(nw, rep)
+		rep.DeliveredSim = st[t].delivered
+		rep.Replans = src.replans
+		rep.Detours += src.detours
+		for v := range st {
+			rep.Retransmits += st[v].retrans
+			rep.DataHops += st[v].hopsIn
+		}
+	}
 	if _, err := nw.Sim.Run(); err != nil {
+		// Run aborted (MaxRounds exhaustion or a strict-mode violation): the
+		// rounds, messages and retransmissions spent up to the abort are real
+		// cost — fill the report before returning so callers that tolerate
+		// partial failures (experiment sweeps) still account the work.
+		fillDiagnostics()
 		return rep, err
 	}
-	pr.fill(nw, rep)
-	rep.DeliveredSim = st[t].delivered
-	rep.Replans = src.replans
-	rep.Detours += src.detours
-	for v := range st {
-		rep.Retransmits += st[v].retrans
-		rep.DataHops += st[v].hopsIn
-	}
+	fillDiagnostics()
 	// Feed the ack outcomes back into the link-quality estimates, in node
 	// order so the fold is deterministic. Clean first-attempt successes are
 	// no-ops inside Observe, so lossless runs leave the estimator untouched.

@@ -240,9 +240,9 @@ func TestMisroutedPlanNamesTheNode(t *testing.T) {
 		rep.Outcome.Path = truncated
 		var err error
 		if reliable {
-			_, err = nw.deliverReliable(nw, s, d, TransportOptions{PayloadWords: 8}, rep, false)
+			_, err = nw.deliverReliable(nw, s, d, TransportOptions{PayloadWords: 8}, rep, false, "network")
 		} else {
-			_, err = nw.deliverLossless(s, d, 8, rep)
+			_, err = nw.deliverLossless(s, d, 8, rep, "network")
 		}
 		if err == nil {
 			t.Fatalf("reliable=%v: truncated plan must fail", reliable)

@@ -43,6 +43,9 @@ type Options struct {
 	// Workers sizes the batch engine's worker pool in E15 (<= 0 means
 	// GOMAXPROCS).
 	Workers int
+	// TraceDir, when set, makes E18 write its traced-query artifacts
+	// (E18_trace.json, E18_trace.svg) into this directory.
+	TraceDir string
 }
 
 func (o Options) seed() int64 {

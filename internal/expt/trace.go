@@ -1,0 +1,162 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/stats"
+	"hybridroute/internal/trace"
+	"hybridroute/internal/viz"
+)
+
+// e18Setup builds the E18 testbed: the corridor deployment of E17 with a
+// mid-field loss region, so the east-west query both detours (around
+// whatever obstacles the deployment produces) and retries (inside the lossy
+// zone). A fresh network per call keeps traced/untraced runs comparable.
+func e18Setup(opt Options) (*core.Network, sim.NodeID, sim.NodeID, sim.LossRegion, error) {
+	nw, w, h, err := e17Scenario(opt.seed(), opt.Quick)
+	if err != nil {
+		return nil, 0, 0, sim.LossRegion{}, err
+	}
+	region := e17Region(w, h, 0.5)
+	if err := nw.Sim.SetFaults(sim.FaultConfig{Seed: uint64(opt.seed()) + 18, LossRegions: []sim.LossRegion{region}}); err != nil {
+		return nil, 0, 0, sim.LossRegion{}, err
+	}
+	pairs := e17Pairs(nw, w, h, 1)
+	if len(pairs) == 0 {
+		return nil, 0, 0, sim.LossRegion{}, fmt.Errorf("e18: no query pair")
+	}
+	return nw, pairs[0][0], pairs[0][1], region, nil
+}
+
+// e18Artifacts writes the traced query as a JSON report (per-hop trace plus
+// the Prometheus-style counters folded from the raw events) and an SVG
+// rendering of the traversed route with retransmitting hops marked and the
+// loss region drawn.
+func e18Artifacts(dir string, nw *core.Network, report *core.TraceReport, events []trace.Event, region sim.LossRegion) error {
+	reg := trace.NewRegistry()
+	reg.MergeEvents(events)
+	blob, err := json.MarshalIndent(struct {
+		Report  *core.TraceReport `json:"report"`
+		Metrics *trace.Registry   `json:"metrics"`
+	}{report, reg}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "E18_trace.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	sc := viz.Scene{
+		Points: nw.G.Points(),
+		Title:  fmt.Sprintf("E18 traced query %d->%d: ratio %.2f, %d hop resends", report.S, report.T, report.CompetitiveRatio, report.HopRetrans),
+		Discs:  []viz.Disc{{Center: region.Center, R: region.Radius}},
+	}
+	for v := 0; v < nw.G.N(); v++ {
+		for _, u := range nw.G.Neighbors(sim.NodeID(v)) {
+			if int(u) > v {
+				sc.Edges = append(sc.Edges, [2]int{v, int(u)})
+			}
+		}
+	}
+	seen := make(map[int]bool)
+	for _, h := range report.Hops {
+		if !seen[h.From] {
+			seen[h.From] = true
+			sc.Route = append(sc.Route, nw.G.Point(sim.NodeID(h.From)))
+		}
+		if h.Acked {
+			sc.Route = append(sc.Route, nw.G.Point(sim.NodeID(h.To)))
+			seen[h.To] = true
+		}
+		if h.Attempts > 1 {
+			sc.Marks = append(sc.Marks, nw.G.Point(sim.NodeID(h.From)))
+		}
+	}
+	sc.Segment = &geom.Segment{A: nw.G.Point(sim.NodeID(report.S)), B: nw.G.Point(sim.NodeID(report.T))}
+	return os.WriteFile(filepath.Join(dir, "E18_trace.svg"), []byte(viz.Render(sc, 1000)), 0o644)
+}
+
+// E18 demonstrates the observability layer end to end: one east-west query is
+// driven through a mid-corridor loss region twice — once untraced, once with
+// the full tracer installed — and the traced run must (a) stay byte-identical
+// to the untraced one, (b) deliver, (c) report a competitive ratio against
+// the LDel² shortest path, and (d) attribute per-hop retransmissions to the
+// hops inside the lossy region. With Options.TraceDir set, the traced query
+// is written out as E18_trace.json and E18_trace.svg.
+func E18(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "E18",
+		Title: "Hop-level trace of a lossy-region query",
+		Claim: "tracing is observationally free (byte-identical transport report) and the per-hop report localizes retransmissions to the loss region and prices the route against the LDel² shortest path",
+	}
+
+	// Untraced reference run.
+	plain, s0, t0, _, err := e18Setup(opt)
+	if err != nil {
+		return nil, err
+	}
+	plainRep, plainErr := plain.RouteOnSimOpt(s0, t0, core.TransportOptions{PayloadWords: 64})
+
+	// Traced run on a fresh but identical network.
+	nw, s, t, region, err := e18Setup(opt)
+	if err != nil {
+		return nil, err
+	}
+	if s != s0 || t != t0 {
+		return nil, fmt.Errorf("e18: query pair not reproducible (%d->%d vs %d->%d)", s, t, s0, t0)
+	}
+	tr := trace.New(0)
+	nw.SetTracer(tr)
+	report, rep, qerr := nw.TraceQuery(s, t, core.TransportOptions{PayloadWords: 64})
+	if (qerr == nil) != (plainErr == nil) {
+		return nil, fmt.Errorf("e18: traced/untraced error mismatch: %v vs %v", qerr, plainErr)
+	}
+	if qerr != nil {
+		return nil, fmt.Errorf("e18: query failed: %w", qerr)
+	}
+
+	identical := transportReportsEqual(plainRep, rep)
+	inRegion := func(v int) bool {
+		return nw.G.Point(sim.NodeID(v)).Dist(region.Center) <= region.Radius
+	}
+	regionResends, outsideResends := 0, 0
+	for _, h := range report.Hops {
+		if h.Attempts <= 1 {
+			continue
+		}
+		if inRegion(h.From) || inRegion(h.To) {
+			regionResends += h.Attempts - 1
+		} else {
+			outsideResends += h.Attempts - 1
+		}
+	}
+
+	res.Table = stats.NewTable("hop", "round", "from", "to", "attempts", "acked", "plan")
+	for i, h := range report.Hops {
+		res.Table.AddRow(i, h.Round, h.From, h.To, h.Attempts, h.Acked, h.Plan)
+	}
+	res.note("delivered=%v rounds=%d hops=%d", report.Delivered, report.Rounds, len(report.Hops))
+	res.note("traversed %.3f vs LDel shortest %.3f: competitive ratio %.3f (straight line %.3f)",
+		report.TraversedLength, report.ShortestLength, report.CompetitiveRatio, report.GeoDistance)
+	res.note("hop resends: %d inside the loss region, %d outside; %d replans, %d nacks",
+		regionResends, outsideResends, report.Replans, report.Nacks)
+	res.note("plans: %v; traced run byte-identical to untraced: %v", report.PlanPath, identical)
+
+	res.Pass = report.Delivered && identical &&
+		report.CompetitiveRatio > 0 &&
+		report.HopRetrans > 0 && regionResends >= outsideResends
+
+	if opt.TraceDir != "" {
+		if err := e18Artifacts(opt.TraceDir, nw, report, tr.Events(), region); err != nil {
+			return nil, fmt.Errorf("e18: artifacts: %w", err)
+		}
+		res.note("trace artifacts written to %s", opt.TraceDir)
+	}
+	return res, nil
+}

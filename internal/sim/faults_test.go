@@ -57,8 +57,8 @@ func TestLossRegionConfinesLoss(t *testing.T) {
 	gotClear, gotRegion, gotFrom := 0, 0, 0
 	s.SetProto(0, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
 		if round == 0 {
-			ctx.SendAdHoc(1, "clear")   // both endpoints outside: never lost
-			ctx.SendLong(3, "into")     // receiver inside: always lost
+			ctx.SendAdHoc(1, "clear") // both endpoints outside: never lost
+			ctx.SendLong(3, "into")   // receiver inside: always lost
 		}
 		gotFrom += len(inbox)
 	}))

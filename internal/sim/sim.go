@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"hybridroute/internal/geom"
+	"hybridroute/internal/trace"
 	"hybridroute/internal/udg"
 )
 
@@ -112,7 +113,8 @@ type Sim struct {
 	pending  [][]Envelope // messages to deliver next round, per destination
 	nextSent int          // messages enqueued during the current round
 	err      error
-	faults   *faultState // nil: lossless (the paper's model)
+	faults   *faultState   // nil: lossless (the paper's model)
+	tracer   *trace.Tracer // nil: tracing disabled (the default)
 }
 
 // New creates a simulation over the given UDG. Protocols are attached with
@@ -167,6 +169,26 @@ func (s *Sim) Teach(v, w NodeID) { s.knowledge[v][w] = true }
 // Rounds returns the number of completed communication rounds.
 func (s *Sim) Rounds() int { return s.rounds }
 
+// SetTracer installs (nil: removes) the event recorder. With a tracer
+// installed the simulator emits one round event per executed round, one
+// send/drop event per message initiated and one deliver event per message
+// handed to an inbox. Tracing never alters delivery, counters or rounds; a
+// traced run is byte-identical in outcomes to an untraced one.
+func (s *Sim) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// Tracer returns the installed event recorder (nil when tracing is off).
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
+
+// SetMaxRounds rebounds Run's round budget mid-life (0 restores the default);
+// deadline experiments and tests use it to force MaxRounds exhaustion without
+// rebuilding the simulation.
+func (s *Sim) SetMaxRounds(n int) {
+	if n <= 0 {
+		n = 1 << 20
+	}
+	s.cfg.MaxRounds = n
+}
+
 // Counters returns the communication counters of node v.
 func (s *Sim) Counters(v NodeID) Counters { return s.counters[v] }
 
@@ -208,13 +230,23 @@ func (s *Sim) TotalCounters() Counters {
 }
 
 // ResetCounters zeroes message counters (storage is preserved) and the round
-// counter; knowledge is kept. Used between protocol phases.
+// counter; knowledge is kept. Used between protocol phases and experiment
+// repetitions. Everything MaxCounters/TotalCounters aggregate is reset, and
+// so are the fault-injection drop counters — a repetition must start from a
+// clean slate or stale carry-over inflates its numbers. The fault model's
+// drop *stream* (per-sender send sequences) is deliberately left running:
+// reinstall the config via SetFaults to replay the same drops.
 func (s *Sim) ResetCounters() {
 	for i := range s.counters {
 		st := s.counters[i].StorageWords
 		s.counters[i] = Counters{StorageWords: st}
 	}
 	s.rounds = 0
+	if s.faults != nil {
+		for i := range s.faults.drops {
+			s.faults.drops[i] = DropCounters{}
+		}
+	}
 }
 
 // Run executes rounds until quiescence (a round in which no messages were
@@ -248,6 +280,13 @@ func (s *Sim) step() (bool, error) {
 	for _, inbox := range inboxes {
 		delivered += len(inbox)
 	}
+	if s.tracer != nil {
+		for v, inbox := range inboxes {
+			for _, env := range inbox {
+				s.tracer.Emit(trace.Event{Kind: trace.KindDeliver, Round: s.rounds, From: int(env.From), To: v})
+			}
+		}
+	}
 
 	alive := false
 	if s.cfg.Parallel && s.g.N() >= parallelThreshold {
@@ -273,6 +312,9 @@ func (s *Sim) step() (bool, error) {
 			}
 		}
 		alive = ctx.keep
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(trace.Event{Kind: trace.KindRound, Round: s.rounds, Value: delivered})
 	}
 	s.rounds++
 	return delivered > 0 || s.nextSent > 0 || alive, nil
@@ -471,7 +513,17 @@ func (c *Context) deliver(to NodeID, msg Message, adhoc bool) {
 		cnt.LongMsgs++
 		cnt.LongWords += w
 	}
-	if f := c.sim.faults; f != nil && f.dropSend(c.self, to, adhoc) {
+	dropped := false
+	if f := c.sim.faults; f != nil {
+		dropped = f.dropSend(c.self, to, adhoc)
+	}
+	if tr := c.sim.tracer; tr != nil {
+		tr.Emit(trace.Event{Kind: trace.KindSend, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
+		if dropped {
+			tr.Emit(trace.Event{Kind: trace.KindDrop, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
+		}
+	}
+	if dropped {
 		// The send is counted (the sender spent the work) but the message
 		// never enters the delivery queue.
 		return

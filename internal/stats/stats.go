@@ -43,10 +43,19 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of an already sorted sample
-// using nearest-rank interpolation.
+// by linear interpolation between the two closest ranks (the same estimator
+// as numpy's default): pos = p·(n−1), interpolating between floor(pos) and
+// ceil(pos). It is NOT the nearest-rank method — for n=2, p=0.5 it returns
+// the midpoint, not an element of the sample. p outside [0, 1] clamps to the
+// sample extremes; a NaN p returns NaN.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		// Propagate instead of letting int(math.Floor(NaN)) produce a
+		// platform-dependent index and panic.
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -32,6 +32,44 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestPercentileBoundaries pins the estimator's exact numeric behaviour on
+// the smallest samples: Percentile is linear interpolation between closest
+// ranks (pos = p·(n−1)), NOT nearest-rank — its doc used to claim otherwise.
+func TestPercentileBoundaries(t *testing.T) {
+	// n=1: every quantile is the single element.
+	one := []float64{7}
+	for _, p := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := Percentile(one, p); got != 7 {
+			t.Errorf("n=1 p=%v = %v, want 7", p, got)
+		}
+	}
+	// n=2: interpolation is visible — a nearest-rank estimator would return
+	// an element of the sample, never the midpoint.
+	two := []float64{10, 20}
+	if got := Percentile(two, 0.5); got != 15 {
+		t.Errorf("n=2 p=0.5 = %v, want 15 (linear interpolation)", got)
+	}
+	if got := Percentile(two, 0.25); got != 12.5 {
+		t.Errorf("n=2 p=0.25 = %v, want 12.5", got)
+	}
+	// p outside [0, 1] clamps to the extremes.
+	if Percentile(two, -0.5) != 10 || Percentile(two, 1.5) != 20 {
+		t.Error("out-of-range p must clamp to the sample extremes")
+	}
+	// NaN p propagates instead of computing a garbage index (this used to be
+	// an index panic on some inputs).
+	if got := Percentile(two, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN p = %v, want NaN", got)
+	}
+	// A NaN element in the sample: sort.Float64s places NaNs first, so the
+	// p=0 extreme is NaN; pinning that documents the caller's obligation to
+	// filter rather than any promise from Percentile.
+	withNaN := append([]float64(nil), math.NaN(), 1, 2)
+	if got := Percentile(withNaN, 0); !math.IsNaN(got) {
+		t.Errorf("sample with leading NaN, p=0 = %v, want NaN", got)
+	}
+}
+
 func TestPercentileMonotonicQuick(t *testing.T) {
 	f := func(raw []float64, a, b float64) bool {
 		var xs []float64

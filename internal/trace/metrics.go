@@ -1,0 +1,146 @@
+// The metrics registry: flat named counters and gauges aggregated from trace
+// events (or incremented directly), exported as Prometheus text-format
+// families and as a JSON object that cmd/benchjson can merge into
+// BENCH_results.json. Metric names follow the Prometheus convention
+// (hybridroute_<layer>_<what>_total for counters).
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry accumulates named metrics. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	gauges   map[string]float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]uint64), gauges: make(map[string]float64)}
+}
+
+// Add increments a counter by delta.
+func (r *Registry) Add(name string, delta uint64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge sets a gauge to v.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// MaxGauge raises a gauge to v if v exceeds its current value.
+func (r *Registry) MaxGauge(name string, v float64) {
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Counters returns a copy of the counter map.
+func (r *Registry) Counters() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of the gauge map.
+func (r *Registry) Gauges() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// metricName maps an event kind to its counter name, or "" for kinds that are
+// not counter-shaped (queue depth becomes a max gauge instead).
+var metricName = map[Kind]string{
+	KindRound:      "hybridroute_sim_rounds_total",
+	KindSend:       "hybridroute_sim_sends_total",
+	KindDrop:       "hybridroute_sim_drops_total",
+	KindDeliver:    "hybridroute_sim_delivers_total",
+	KindHopSend:    "hybridroute_transport_hop_sends_total",
+	KindHopRetry:   "hybridroute_transport_hop_retries_total",
+	KindHopAck:     "hybridroute_transport_hop_acks_total",
+	KindHopNack:    "hybridroute_transport_hop_nacks_total",
+	KindReplan:     "hybridroute_transport_replans_total",
+	KindDetour:     "hybridroute_transport_detours_total",
+	KindCacheHit:   "hybridroute_engine_cache_hits_total",
+	KindCacheMiss:  "hybridroute_engine_cache_misses_total",
+	KindCacheEvict: "hybridroute_engine_cache_evictions_total",
+}
+
+// MergeEvents folds a recorded event stream into the registry: one counter
+// per event kind (cache evictions count evicted entries, not store calls) and
+// a max gauge for the engine's worker-queue depth.
+func (r *Registry) MergeEvents(events []Event) {
+	for _, e := range events {
+		switch e.Kind {
+		case KindQueueDepth:
+			r.MaxGauge("hybridroute_engine_queue_depth_max", float64(e.Value))
+		case KindCacheEvict:
+			r.Add(metricName[e.Kind], uint64(e.Value))
+		default:
+			if name := metricName[e.Kind]; name != "" {
+				r.Add(name, 1)
+			}
+		}
+	}
+}
+
+// PrometheusText renders the registry in the Prometheus text exposition
+// format, families sorted by name so output is deterministic.
+func (r *Registry) PrometheusText() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n])
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, r.gauges[n])
+	}
+	return b.String()
+}
+
+// registryJSON is the registry's JSON document shape, shared with
+// cmd/benchjson's metrics block.
+type registryJSON struct {
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// MarshalJSON renders {"counters": {...}, "gauges": {...}} (map keys are
+// sorted by encoding/json, so output is deterministic).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(registryJSON{Counters: r.Counters(), Gauges: r.Gauges()})
+}

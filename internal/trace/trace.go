@@ -1,0 +1,203 @@
+// Package trace is the observability layer of the reproduction: a structured
+// event recorder plus a small metrics registry. Every message-touching layer
+// (the simulator, the transport, the batch engine) emits events through a
+// *Tracer it was handed; a nil *Tracer is the disabled state and every method
+// is a nil-receiver no-op, so instrumented code pays one pointer comparison
+// when tracing is off and routing outcomes are byte-identical either way
+// (pinned by tests in internal/core).
+//
+// The package deliberately depends on nothing inside the repository so the
+// simulator, core and the CLIs can all import it without cycles; node IDs are
+// carried as plain ints.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Kind classifies one traced event.
+type Kind uint8
+
+const (
+	// Simulator events.
+	KindRound   Kind = iota // one completed communication round (Value = messages delivered)
+	KindSend                // a message entered the delivery queue (From, To, Words, AdHoc)
+	KindDrop                // fault injection discarded a send (From, To, Words, AdHoc)
+	KindDeliver             // a message reached its receiver's inbox (From, To)
+
+	// Transport events (one routed query's hop protocol).
+	KindHopSend  // first transmission attempt of a payload hop (From, To, Seq, Plan)
+	KindHopRetry // timer-driven retransmission of a pending hop (Attempt = attempts so far)
+	KindHopAck   // the hop acknowledgement matched a pending transfer
+	KindHopNack  // a holder gave up on its next hop and notified the source (To = dead hop)
+	KindReplan   // the source computed a fresh path around dead hops (Plan = producing planner)
+	KindDetour   // loss-aware planning substituted an ETX detour for the geometric plan
+
+	// Batch-engine events.
+	KindCacheHit   // plan-cache lookup hit
+	KindCacheMiss  // plan-cache lookup miss
+	KindCacheEvict // LRU eviction(s) during a store (Value = entries evicted)
+	KindQueueDepth // queries still unclaimed when a worker took one (Value = depth)
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"round", "send", "drop", "deliver",
+	"hop_send", "hop_retry", "hop_ack", "hop_nack", "replan", "detour",
+	"cache_hit", "cache_miss", "cache_evict", "queue_depth",
+}
+
+// String returns the stable snake_case name of the kind (also its JSON form).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind by name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one structured observation. Fields beyond Kind are meaningful per
+// kind (see the Kind constants); unused fields stay zero and are omitted from
+// JSON.
+type Event struct {
+	Kind    Kind   `json:"kind"`
+	Round   int    `json:"round,omitempty"`
+	From    int    `json:"from,omitempty"`
+	To      int    `json:"to,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Words   int    `json:"words,omitempty"`
+	Value   int    `json:"value,omitempty"`
+	AdHoc   bool   `json:"adhoc,omitempty"`
+	Plan    string `json:"plan,omitempty"`
+}
+
+// DefaultLimit bounds a Tracer's buffer when no limit is given. Past it,
+// events are counted as dropped instead of recorded, so a runaway run cannot
+// exhaust memory.
+const DefaultLimit = 1 << 18
+
+// Tracer records events into a bounded in-memory buffer. A nil *Tracer is the
+// disabled recorder: Emit and every accessor are no-ops, so instrumentation
+// sites need no separate enabled flag. All methods are safe for concurrent
+// use (the simulator's parallel stepping and the engine's worker pool emit
+// from many goroutines; the buffer order is then the arrival order, which is
+// not deterministic — aggregate views are, since they are order-free).
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped uint64
+}
+
+// New creates a tracer bounded to limit events; limit <= 0 means
+// DefaultLimit.
+func New(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event (dropping it, counted, once the buffer is full).
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) < t.limit {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the buffer limit discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of all recorded events.
+func (t *Tracer) Events() []Event { return t.Since(0) }
+
+// Since returns a copy of the events recorded from index start on; callers
+// snapshot Len() before an operation and pass it here to scope that
+// operation's events.
+func (t *Tracer) Since(start int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(t.events) {
+		return nil
+	}
+	return append([]Event(nil), t.events[start:]...)
+}
+
+// Reset discards all recorded events and the dropped count.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// CountByKind aggregates the recorded events per kind name.
+func (t *Tracer) CountByKind() map[string]int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range t.events {
+		out[e.Kind.String()]++
+	}
+	return out
+}

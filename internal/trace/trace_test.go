@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsDisabledNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindSend}) // must not panic
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports recorded events")
+	}
+	if tr.Events() != nil || tr.Since(0) != nil || tr.CountByKind() != nil {
+		t.Fatal("nil tracer returned non-nil snapshots")
+	}
+}
+
+func TestEmitAndScope(t *testing.T) {
+	tr := New(0)
+	tr.Emit(Event{Kind: KindSend, From: 1, To: 2})
+	mark := tr.Len()
+	tr.Emit(Event{Kind: KindDrop, From: 2, To: 3})
+	tr.Emit(Event{Kind: KindHopAck, From: 3, To: 4})
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	scoped := tr.Since(mark)
+	if len(scoped) != 2 || scoped[0].Kind != KindDrop || scoped[1].Kind != KindHopAck {
+		t.Fatalf("Since(%d) = %+v", mark, scoped)
+	}
+	counts := tr.CountByKind()
+	if counts["send"] != 1 || counts["drop"] != 1 || counts["hop_ack"] != 1 {
+		t.Fatalf("CountByKind = %v", counts)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset kept events")
+	}
+}
+
+func TestBufferLimitCountsDrops(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindSend, Seq: i})
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Kind: KindCacheHit})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Fatalf("Len = %d, want 4000", tr.Len())
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %s -> %v", k, b, back)
+		}
+	}
+	var bad Kind
+	if err := json.Unmarshal([]byte(`"no_such_kind"`), &bad); err == nil {
+		t.Fatal("unknown kind name did not error")
+	}
+}
+
+func TestEventJSONOmitsZeroFields(t *testing.T) {
+	b, err := json.Marshal(Event{Kind: KindCacheHit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"kind":"cache_hit"}` {
+		t.Fatalf("zero-field event JSON = %s", b)
+	}
+}
+
+func TestRegistryMergeAndExport(t *testing.T) {
+	r := NewRegistry()
+	r.MergeEvents([]Event{
+		{Kind: KindSend}, {Kind: KindSend}, {Kind: KindDrop},
+		{Kind: KindCacheEvict, Value: 3},
+		{Kind: KindQueueDepth, Value: 5},
+		{Kind: KindQueueDepth, Value: 2},
+	})
+	c := r.Counters()
+	if c["hybridroute_sim_sends_total"] != 2 {
+		t.Fatalf("sends counter = %d", c["hybridroute_sim_sends_total"])
+	}
+	if c["hybridroute_engine_cache_evictions_total"] != 3 {
+		t.Fatalf("evictions counter = %d (must count evicted entries)", c["hybridroute_engine_cache_evictions_total"])
+	}
+	if g := r.Gauges()["hybridroute_engine_queue_depth_max"]; g != 5 {
+		t.Fatalf("queue depth max gauge = %g, want 5", g)
+	}
+
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE hybridroute_sim_sends_total counter",
+		"hybridroute_sim_sends_total 2",
+		"hybridroute_engine_queue_depth_max 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("PrometheusText missing %q:\n%s", want, text)
+		}
+	}
+	// Counter families must be sorted for deterministic exposition.
+	if i, j := strings.Index(text, "hybridroute_engine_cache_evictions_total"), strings.Index(text, "hybridroute_sim_sends_total"); i > j {
+		t.Fatal("PrometheusText families not sorted")
+	}
+
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back registryJSON
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["hybridroute_sim_drops_total"] != 1 || back.Gauges["hybridroute_engine_queue_depth_max"] != 5 {
+		t.Fatalf("registry JSON round trip = %+v", back)
+	}
+}
+
+func TestRegistryDirectCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add("x_total", 2)
+	r.Add("x_total", 3)
+	r.SetGauge("g", 1.5)
+	r.MaxGauge("g", 0.5) // lower: must not regress
+	if r.Counters()["x_total"] != 5 {
+		t.Fatalf("Add accumulation = %d", r.Counters()["x_total"])
+	}
+	if r.Gauges()["g"] != 1.5 {
+		t.Fatalf("MaxGauge regressed gauge to %g", r.Gauges()["g"])
+	}
+}

@@ -84,6 +84,13 @@ func (c *Canvas) Polyline(path []geom.Point, stroke string, width float64) {
 		strings.Join(pts, " "), stroke, width)
 }
 
+// Circle draws an unfilled (stroked) circle with a world-coordinate radius.
+func (c *Canvas) Circle(center geom.Point, r float64, stroke string, width, opacity float64) {
+	x, y := c.xy(center)
+	fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x, y, r*c.scale, stroke, opacity, stroke, width)
+}
+
 // Text places a label.
 func (c *Canvas) Text(p geom.Point, size float64, fill, s string) {
 	x, y := c.xy(p)
@@ -109,7 +116,15 @@ const (
 	ColRoute    = "#1f8a4c"
 	ColSegment  = "#888888"
 	ColWaypoint = "#e0a010"
+	ColMark     = "#d02090"
+	ColDisc     = "#d0a040"
 )
+
+// Disc is a circular region overlay (e.g. an injected loss region).
+type Disc struct {
+	Center geom.Point
+	R      float64
+}
 
 // Scene describes one rendering of a network state.
 type Scene struct {
@@ -120,6 +135,8 @@ type Scene struct {
 	Bays      [][]geom.Point // bay-area polygons
 	Route     []geom.Point   // realized route
 	Waypoints []geom.Point
+	Marks     []geom.Point  // highlighted nodes (e.g. hops that needed retransmits)
+	Discs     []Disc        // circular region overlays (e.g. loss regions)
 	Segment   *geom.Segment // dashed source-target segment
 	Title     string
 }
@@ -149,9 +166,15 @@ func Render(sc Scene, widthPx int) string {
 	for _, p := range sc.Points {
 		c.Dot(p, 1.8, ColNode)
 	}
+	for _, d := range sc.Discs {
+		c.Circle(d.Center, d.R, ColDisc, 1.5, 0.15)
+	}
 	c.Polyline(sc.Route, ColRoute, 2.5)
 	for _, w := range sc.Waypoints {
 		c.Dot(w, 4.0, ColWaypoint)
+	}
+	for _, m := range sc.Marks {
+		c.Dot(m, 3.2, ColMark)
 	}
 	if len(sc.Route) > 0 {
 		c.Dot(sc.Route[0], 5, ColRoute)
