@@ -100,6 +100,11 @@ func BenchmarkE17LossAware(b *testing.B) { benchExperiment(b, expt.E17) }
 // check plus per-hop report assembly on the lossy corridor).
 func BenchmarkE18Trace(b *testing.B) { benchExperiment(b, expt.E18) }
 
+// BenchmarkE19Churn runs the churn robustness sweep (seeded crash/recover
+// schedule against a traced query batch, with incremental repair and
+// suspect failover).
+func BenchmarkE19Churn(b *testing.B) { benchExperiment(b, expt.E19) }
+
 // --- batch engine micro-benchmarks ---
 //
 // One op = answering the same 256-query workload (half hot-set repeats, half
@@ -180,6 +185,101 @@ func BenchmarkEngineBatch(b *testing.B) {
 	nw, queries := benchEngineSetup(b)
 	eng := core.NewEngine(nw, core.EngineConfig{})
 	eng.RouteBatch(queries) // warm the cache outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RouteBatch(queries)
+	}
+}
+
+// --- churn repair micro-benchmarks ---
+//
+// A separate network from the engine benchmarks, so crash/recover cycles
+// here never perturb those measurements. One repair = clone the pristine
+// triangulation, detach the victim, re-run hole detection (reusing derived
+// geometry for untouched holes) and rebuild the overlay structures.
+
+var benchChurnState struct {
+	once    sync.Once
+	nw      *core.Network
+	queries []core.Query
+	err     error
+}
+
+func benchChurnSetup(b *testing.B) (*core.Network, []core.Query) {
+	b.Helper()
+	s := &benchChurnState
+	s.once.Do(func() {
+		side := math.Sqrt(600) * 0.42
+		obstacles := workload.RandomConvexObstacles(2, 3, side, side, side/8, side/5, 1.2)
+		sc, err := workload.WithObstacles(2, 600, side, side, 1, obstacles)
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.nw, s.err = core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 2})
+		if s.err != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(19))
+		for len(s.queries) < 128 {
+			s.queries = append(s.queries, core.Query{
+				S: sim.NodeID(rng.Intn(s.nw.G.N())),
+				T: sim.NodeID(rng.Intn(s.nw.G.N())),
+			})
+		}
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.nw, s.queries
+}
+
+// BenchmarkChurnRepair measures topology-repair latency: one op is a full
+// crash+recover cycle of one node, i.e. one incremental (or full) repair
+// plus one pristine restore, both advancing the topology generation.
+func BenchmarkChurnRepair(b *testing.B) {
+	nw, _ := benchChurnSetup(b)
+	victim := sim.NodeID(nw.G.N() / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nw.Sim.Crash(victim); err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Sim.Recover(victim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatchChurned measures plan-cache invalidation overhead: a
+// crash+recover cycle between batches bumps the topology generation twice,
+// so every plan fragment of the warm cache becomes unaddressable and the op
+// replans the whole batch. Compare against BenchmarkEngineBatchStable below
+// (same network and batch, no churn) to price the invalidation.
+func BenchmarkEngineBatchChurned(b *testing.B) {
+	nw, queries := benchChurnSetup(b)
+	victim := sim.NodeID(nw.G.N() / 2)
+	eng := core.NewEngine(nw, core.EngineConfig{})
+	eng.RouteBatch(queries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nw.Sim.Crash(victim); err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Sim.Recover(victim); err != nil {
+			b.Fatal(err)
+		}
+		eng.RouteBatch(queries)
+	}
+}
+
+// BenchmarkEngineBatchStable is the control for BenchmarkEngineBatchChurned:
+// the identical warm batch on the same churn-benchmark network with the
+// topology left alone.
+func BenchmarkEngineBatchStable(b *testing.B) {
+	nw, queries := benchChurnSetup(b)
+	eng := core.NewEngine(nw, core.EngineConfig{})
+	eng.RouteBatch(queries)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RouteBatch(queries)

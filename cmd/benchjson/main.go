@@ -35,14 +35,38 @@ type benchResult struct {
 }
 
 // benchFile is the JSON document: run environment plus every benchmark line,
-// and optionally the trace-metrics block embedded via -metrics.
+// derived cross-benchmark ratios, and optionally the trace-metrics block
+// embedded via -metrics.
 type benchFile struct {
-	GoOS       string          `json:"goos,omitempty"`
-	GoArch     string          `json:"goarch,omitempty"`
-	Pkg        string          `json:"pkg,omitempty"`
-	CPU        string          `json:"cpu,omitempty"`
-	Benchmarks []benchResult   `json:"benchmarks"`
-	Metrics    json.RawMessage `json:"metrics,omitempty"`
+	GoOS       string             `json:"goos,omitempty"`
+	GoArch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+	Metrics    json.RawMessage    `json:"metrics,omitempty"`
+}
+
+// deriveRatios computes cross-benchmark summary metrics that only make sense
+// once related lines are merged into one document: currently the churn
+// plan-cache invalidation overhead (the churned warm batch priced against
+// the stable one, with the raw repair cycle alongside for attribution).
+func deriveRatios(doc *benchFile) {
+	ns := make(map[string]float64, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		ns[b.Name] = b.NsPerOp
+	}
+	churned, okC := ns["BenchmarkEngineBatchChurned"]
+	stable, okS := ns["BenchmarkEngineBatchStable"]
+	if okC && okS && stable > 0 {
+		if doc.Derived == nil {
+			doc.Derived = map[string]float64{}
+		}
+		doc.Derived["churn_invalidation_overhead"] = churned / stable
+		if repair, ok := ns["BenchmarkChurnRepair"]; ok {
+			doc.Derived["churn_repair_ns_per_cycle"] = repair
+		}
+	}
 }
 
 // convert reads `go test -bench` text from r, echoes every line to echo
@@ -79,6 +103,7 @@ func convert(r io.Reader, echo io.Writer, metricsJSON []byte) (benchFile, error)
 		}
 		doc.Metrics = json.RawMessage(metricsJSON)
 	}
+	deriveRatios(&doc)
 	return doc, nil
 }
 

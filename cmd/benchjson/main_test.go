@@ -82,3 +82,32 @@ func TestConvertRejectsInvalidMetrics(t *testing.T) {
 		t.Fatal("invalid metrics JSON must be rejected")
 	}
 }
+
+// TestDeriveChurnOverhead pins the derived churn block: the invalidation
+// overhead appears only when both the churned and the stable engine-batch
+// lines are present, and carries the repair cycle time alongside.
+func TestDeriveChurnOverhead(t *testing.T) {
+	in := "BenchmarkChurnRepair-8 100 2000000 ns/op\n" +
+		"BenchmarkEngineBatchChurned-8 50 30000000 ns/op\n" +
+		"BenchmarkEngineBatchStable-8 200 10000000 ns/op\n"
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader([]byte(in)), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Derived["churn_invalidation_overhead"]; got != 3 {
+		t.Errorf("churn_invalidation_overhead = %v, want 3", got)
+	}
+	if got := doc.Derived["churn_repair_ns_per_cycle"]; got != 2000000 {
+		t.Errorf("churn_repair_ns_per_cycle = %v, want 2000000", got)
+	}
+
+	// Without the stable control the block must be absent entirely.
+	doc, err = convert(bytes.NewReader([]byte("BenchmarkEngineBatchChurned-8 50 30000000 ns/op\n")), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Derived != nil {
+		t.Errorf("derived block must be omitted without both batch lines: %v", doc.Derived)
+	}
+}

@@ -16,7 +16,7 @@
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
 //	            [-batch] [-workers 0] [-cache 4096]
-//	            [-loss 0.05] [-crash 5] [-retries 3] [-lossaware]
+//	            [-loss 0.05] [-crash 5] [-churn 4] [-retries 3] [-lossaware]
 //	            [-trace FILE] [-pprof FILE]
 package main
 
@@ -51,13 +51,14 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "batch engine plan cache entries (0 = default 4096, negative = disabled)")
 	loss := flag.Float64("loss", 0, "message loss probability per link class; > 0 adds a fault-injected delivery run")
 	crash := flag.Int("crash", 0, "number of crashed nodes to inject into the delivery run")
+	churn := flag.Int("churn", 0, "number of seeded crash+recover cycles replayed while the delivery run is in flight")
 	retries := flag.Int("retries", core.DefaultRetries, "per-hop retry budget for fault-injected delivery")
 	lossAware := flag.Bool("lossaware", false, "plan around observed lossy links (ETX weights) in the delivery run")
 	traceFile := flag.String("trace", "", "record stack-wide trace events; write metrics + a traced sample query as JSON to this file")
 	pprofFile := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
-	if err := validateFlags(*loss, *crash, *retries, *lossAware); err != nil {
+	if err := validateFlags(*loss, *crash, *churn, *retries, *lossAware); err != nil {
 		log.Fatalf("flags: %v", err)
 	}
 	stopProfile := func() {}
@@ -167,8 +168,8 @@ func main() {
 
 	// Fault-injected delivery run: only when requested, so the default output
 	// stays byte-identical to earlier releases.
-	if *loss > 0 || *crash > 0 {
-		runFaultedDelivery(nw, pairs, *loss, *crash, *retries, *seed, *lossAware)
+	if *loss > 0 || *crash > 0 || *churn > 0 {
+		runFaultedDelivery(nw, pairs, *loss, *crash, *churn, *retries, *seed, *lossAware)
 	}
 
 	if tracer != nil {
@@ -182,18 +183,21 @@ func main() {
 // run silently with surprising semantics: probabilities outside [0, 1],
 // negative counts, and -lossaware without any fault-injected delivery run to
 // act on.
-func validateFlags(loss float64, crash, retries int, lossAware bool) error {
+func validateFlags(loss float64, crash, churn, retries int, lossAware bool) error {
 	if loss < 0 || loss > 1 {
 		return fmt.Errorf("-loss %v is not a probability in [0, 1]", loss)
 	}
 	if crash < 0 {
 		return fmt.Errorf("-crash %d must be >= 0", crash)
 	}
+	if churn < 0 {
+		return fmt.Errorf("-churn %d must be >= 0", churn)
+	}
 	if retries < 0 {
 		return fmt.Errorf("-retries %d must be >= 0 (0 means the default of %d)", retries, core.DefaultRetries)
 	}
-	if lossAware && loss == 0 && crash == 0 {
-		return fmt.Errorf("-lossaware needs a fault-injected delivery run: set -loss and/or -crash")
+	if lossAware && loss == 0 && crash == 0 && churn == 0 {
+		return fmt.Errorf("-lossaware needs a fault-injected delivery run: set -loss, -crash and/or -churn")
 	}
 	return nil
 }
@@ -230,8 +234,9 @@ func writeTraceOutput(path string, nw *core.Network, tracer *trace.Tracer, pairs
 
 // runFaultedDelivery installs the seeded fault model and re-answers the query
 // workload as actual payload deliveries on the simulator, reporting how many
-// survive message loss and crashed nodes through retries and replanning.
-func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, retries int, seed int64, lossAware bool) {
+// survive message loss, crashed nodes and mid-run churn through retries,
+// replanning, topology repair and suspect failover.
+func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, churn, retries int, seed int64, lossAware bool) {
 	rng := rand.New(rand.NewSource(seed + 7))
 	crashed := make([]sim.NodeID, 0, crash)
 	isCrashed := make(map[sim.NodeID]bool)
@@ -243,6 +248,15 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		}
 	}
 	cfg := sim.FaultConfig{AdHocLoss: loss, LongLoss: loss, Seed: uint64(seed) + 7, Crashed: crashed}
+	if churn > 0 {
+		// Protect static crash victims (already skipped as endpoints) and
+		// every query endpoint, so churn never makes a pair undeliverable.
+		protect := append([]sim.NodeID{}, crashed...)
+		for _, p := range pairs {
+			protect = append(protect, p.S, p.T)
+		}
+		cfg.Churn = sim.GenerateChurn(uint64(seed)+7, nw.G.N(), len(pairs)*10, churn, 30, protect)
+	}
 	if err := nw.Sim.SetFaults(cfg); err != nil {
 		log.Fatalf("faults: %v", err)
 	}
@@ -251,6 +265,7 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		topt.LossAware = core.LossAwareOn
 	}
 	delivered, attempted, retrans, replans, detours, skipped := 0, 0, 0, 0, 0, 0
+	suspected, suspectDetours := 0, 0
 	var failures []string
 	for _, p := range pairs {
 		if isCrashed[p.S] || isCrashed[p.T] {
@@ -271,11 +286,20 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		retrans += rep.Retransmits
 		replans += rep.Replans
 		detours += rep.Detours
+		suspected += rep.Suspected
+		suspectDetours += rep.SuspectDetours
 	}
-	fmt.Printf("\nfault-injected delivery (loss %.3f, %d crashed, %d retries/hop):\n", loss, len(crashed), retries)
+	fmt.Printf("\nfault-injected delivery (loss %.3f, %d crashed, %d churn cycles, %d retries/hop):\n",
+		loss, len(crashed), churn, retries)
 	fmt.Printf("delivered %d/%d (%.1f%%), skipped %d with crashed endpoints\n",
 		delivered, attempted, 100*float64(delivered)/float64(max(attempted, 1)), skipped)
 	fmt.Printf("retransmissions %d, source replans %d\n", retrans, replans)
+	if churn > 0 {
+		rs := nw.RepairReport()
+		fmt.Printf("churn: topology generation %d, repairs %d (%d incremental, %d full, %d restores)\n",
+			nw.TopoGeneration(), rs.Repairs, rs.Incremental, rs.Full, rs.Restores)
+		fmt.Printf("suspect failover: %d next hops suspected, %d suspect detours\n", suspected, suspectDetours)
+	}
 	if lossAware {
 		fmt.Printf("loss-aware detours %d\n", detours)
 		printLinkSummary(nw)

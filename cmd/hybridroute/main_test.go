@@ -10,25 +10,30 @@ func TestValidateFlags(t *testing.T) {
 		name      string
 		loss      float64
 		crash     int
+		churn     int
 		retries   int
 		lossAware bool
 		wantErr   string // empty means valid
 	}{
 		{name: "defaults", retries: 3},
 		{name: "faulted run", loss: 0.05, crash: 2, retries: 3},
+		{name: "churn only", churn: 4, retries: 3},
+		{name: "churn with loss", loss: 0.02, churn: 2, retries: 3},
 		{name: "lossaware with loss", loss: 0.05, retries: 3, lossAware: true},
 		{name: "lossaware with crash only", crash: 1, retries: 3, lossAware: true},
+		{name: "lossaware with churn only", churn: 2, retries: 3, lossAware: true},
 		{name: "loss boundary 1", loss: 1, retries: 3},
 		{name: "zero retries means default", loss: 0.01},
 		{name: "negative loss", loss: -0.1, wantErr: "-loss"},
 		{name: "loss above 1", loss: 1.5, wantErr: "-loss"},
 		{name: "negative crash", crash: -1, wantErr: "-crash"},
+		{name: "negative churn", churn: -1, wantErr: "-churn"},
 		{name: "negative retries", loss: 0.05, retries: -2, wantErr: "-retries"},
 		{name: "lossaware without faults", retries: 3, lossAware: true, wantErr: "-lossaware"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.loss, tc.crash, tc.retries, tc.lossAware)
+			err := validateFlags(tc.loss, tc.crash, tc.churn, tc.retries, tc.lossAware)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -189,12 +189,18 @@ const (
 // link-quality estimates shift, the generation advances and stale cached
 // fragments simply stop being addressable (they age out of the LRU). On a
 // lossless run the generation stays 0 forever, so caching is unchanged.
+// topo is the Network's topology-repair generation: a membership change
+// (crash or recovery) advances it, so every fragment planned over the old
+// topology dies with the change instead of misrouting traffic into a dead
+// node — same invalidation-by-unaddressability scheme, same zero cost while
+// the membership is static.
 type planKey struct {
 	kind int8
 	gi   int32
 	a, b sim.NodeID
 	x, y float64
 	gen  uint64
+	topo uint64
 }
 
 // linkGen is the current link-quality generation to stamp into plan keys.
@@ -205,6 +211,9 @@ func (e *Engine) linkGen() uint64 {
 	return e.nw.Link.Generation()
 }
 
+// topoGen is the current topology-repair generation to stamp into plan keys.
+func (e *Engine) topoGen() uint64 { return e.nw.TopoGeneration() }
+
 // planValue is a cached plan fragment. Failures (ok=false) are cached too:
 // a pair that falls back once will fall back every time.
 type planValue struct {
@@ -214,7 +223,7 @@ type planValue struct {
 }
 
 func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
-	k := planKey{kind: kindGroupPath, gi: int32(gi), a: s, b: t, gen: e.linkGen()}
+	k := planKey{kind: kindGroupPath, gi: int32(gi), a: s, b: t, gen: e.linkGen(), topo: e.topoGen()}
 	if v, hit := e.lookup(k); hit {
 		return copyIDs(v.wps), v.ok
 	}
@@ -224,7 +233,7 @@ func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
 }
 
 func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID, sim.NodeID, bool) {
-	k := planKey{kind: kindExitPlan, gi: int32(gi), a: v, x: toward.X, y: toward.Y, gen: e.linkGen()}
+	k := planKey{kind: kindExitPlan, gi: int32(gi), a: v, x: toward.X, y: toward.Y, gen: e.linkGen(), topo: e.topoGen()}
 	if c, hit := e.lookup(k); hit {
 		return copyIDs(c.wps), c.exit, c.ok
 	}
@@ -234,7 +243,7 @@ func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID
 }
 
 func (e *Engine) overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool) {
-	k := planKey{kind: kindOverlay, a: a, b: b, gen: e.linkGen()}
+	k := planKey{kind: kindOverlay, a: a, b: b, gen: e.linkGen(), topo: e.topoGen()}
 	if v, hit := e.lookup(k); hit {
 		return copyIDs(v.wps), v.ok
 	}
@@ -291,6 +300,7 @@ func shardOf(k planKey, shards int) int {
 	mix(math.Float64bits(k.x))
 	mix(math.Float64bits(k.y))
 	mix(k.gen)
+	mix(k.topo)
 	return int(h % uint64(shards))
 }
 

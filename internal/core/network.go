@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hybridroute/internal/delaunay"
 	"hybridroute/internal/geom"
@@ -133,6 +134,12 @@ type Network struct {
 	// lossless runs.
 	Link *LinkStats
 
+	// Live is the suspected-node table fed by the same ack telemetry as Link:
+	// a next hop that exhausts its retry budget is suspected and planned
+	// around until a probation of clean acks readmits it. Like Link it stays
+	// inert (empty) on clean runs.
+	Live *Liveness
+
 	// tracer is the installed event recorder (nil: tracing disabled). The
 	// transport and planner emit through it; SetTracer shares it with the
 	// simulator so one recorder sees the whole stack.
@@ -148,6 +155,15 @@ type Network struct {
 	groupDomainInit []sync.Once
 	ringSnapshot    map[string]ringEpochInfo
 	reusedHoles     map[int]bool // holes whose ring results were carried over
+
+	// Churn-repair state (churn.go): the pristine preprocessing-time topology,
+	// the currently dead nodes, the monotone repair generation plan caches key
+	// on, and the repair statistics. All written only from the (serialized)
+	// membership listener; topoGen alone is read concurrently and is atomic.
+	base    *baseTopo
+	dead    map[sim.NodeID]bool
+	topoGen atomic.Uint64
+	repairs RepairStats
 }
 
 // ringEpochInfo remembers one ring's identity and result for the
@@ -393,6 +409,10 @@ func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network)
 	max := nw.Sim.MaxCounters()
 	nw.Report.MaxMsgs = max.Total()
 	nw.Report.MaxWords = max.TotalWords()
+
+	// Subscribe to dynamic membership changes: from here on a sim.Crash /
+	// Recover (or a ChurnSchedule event) triggers incremental topology repair.
+	nw.enableChurnRepair()
 	return nw, nil
 }
 

@@ -51,6 +51,10 @@ type TraceReport struct {
 	ShortestLength   float64  `json:"shortest_length,omitempty"`
 	CompetitiveRatio float64  `json:"competitive_ratio,omitempty"`
 	PlanPath         []string `json:"plan_path,omitempty"` // distinct plan labels in first-use order
+
+	// Err is the delivery error of this query, set by TraceBatch so a failed
+	// query in a traced batch keeps both its partial trace and its reason.
+	Err string `json:"err,omitempty"`
 }
 
 // TraceQuery routes one query on the simulator with the installed tracer and
@@ -76,6 +80,36 @@ func (nw *Network) traceQuery(planner planSource, s, t sim.NodeID, opt Transport
 	rep, err := nw.routeOnSim(planner, s, t, opt)
 	report := nw.buildTraceReport(s, t, rep, tr.Since(start))
 	return report, rep, err
+}
+
+// TraceBatch routes every query of the batch on the simulator, in order, and
+// assembles one TraceReport per query — the batch analogue of TraceQuery,
+// covering each query instead of one sample. Deliveries are sequential (the
+// simulator serializes runs); a query whose delivery fails still yields its
+// partial trace with Err recording the reason, and the batch continues. The
+// network must have a tracer installed (SetTracer).
+func (nw *Network) TraceBatch(queries []Query, opt TransportOptions) ([]*TraceReport, error) {
+	return nw.traceBatch(nw, queries, opt)
+}
+
+// TraceBatch is Network.TraceBatch planning through the engine's plan cache.
+func (e *Engine) TraceBatch(queries []Query, opt TransportOptions) ([]*TraceReport, error) {
+	return e.nw.traceBatch(e, queries, opt)
+}
+
+func (nw *Network) traceBatch(planner planSource, queries []Query, opt TransportOptions) ([]*TraceReport, error) {
+	if nw.tracer == nil {
+		return nil, fmt.Errorf("core: TraceBatch needs a tracer installed (Network.SetTracer)")
+	}
+	out := make([]*TraceReport, len(queries))
+	for i, q := range queries {
+		report, _, err := nw.traceQuery(planner, q.S, q.T, opt)
+		if err != nil {
+			report.Err = err.Error()
+		}
+		out[i] = report
+	}
+	return out, nil
 }
 
 // buildTraceReport folds one query's event slice into the per-hop summary.

@@ -31,6 +31,7 @@ const (
 	planLDelAvoid    = "ldel-avoid"
 	planLDelETX      = "ldel-etx"
 	planLDelFallback = "ldel-fallback"
+	planSuspectAvoid = "suspect-avoid"
 )
 
 // posQuery asks the destination for its coordinates over a long-range link
@@ -151,6 +152,10 @@ type TransportReport struct {
 	Replans     int // distinct dead hops the source replanned around
 	DataHops    int // successful payload handovers, replans and retries included
 	Detours     int // plans replaced by loss-aware ETX detours (initial + replans)
+	// Suspect-based failover diagnostics (zero unless the liveness table is
+	// active and populated).
+	Suspected      int // next hops this delivery newly marked suspected
+	SuspectDetours int // plans diverted around suspected nodes (initial + replans)
 }
 
 // RouteOnSim executes a routing query as an actual message sequence on the
@@ -210,6 +215,23 @@ func (nw *Network) routeOnSim(planner planSource, s, t sim.NodeID, opt Transport
 		if lossAware && nw.applyLossDetour(&rep.Outcome, t, nil) {
 			rep.Detours++
 			initialPlan = planLDelETX
+		}
+		// Suspect-based failover: when the plan crosses a node the liveness
+		// table currently suspects, divert immediately instead of burning a
+		// retry budget through it. AvoidFor exempts the suspects this query
+		// is elected to probe (so recoveries are eventually observed); if no
+		// path avoids every suspect the plan stands and the retry protocol
+		// adjudicates.
+		if avoid := nw.Live.AvoidFor(s, t); len(avoid) > 0 && pathHitsAny(rep.Path, avoid) {
+			if p := nw.suspectDetourPath(s, t, avoid, lossAware); p != nil {
+				rep.Path = p
+				rep.Waypoints = nil
+				rep.SuspectDetours++
+				initialPlan = planSuspectAvoid
+				if nw.tracer != nil {
+					nw.tracer.Emit(trace.Event{Kind: trace.KindDetour, From: int(s), To: int(t), Plan: planSuspectAvoid, Value: len(avoid)})
+				}
+			}
 		}
 		return nw.deliverReliable(planner, s, t, opt, rep, lossAware, initialPlan)
 	}
@@ -366,6 +388,7 @@ type rnode struct {
 	misrouted bool
 	hopsIn    int // fresh (non-duplicate) payload receipts
 	retrans   int
+	suspects  int // next hops this node marked suspected (retry exhaustion)
 	obs       []linkObs
 	// abandoned records a strand this holder gave up on after its failure
 	// notices to the source went unanswered — the payload is gone, and the
@@ -377,11 +400,30 @@ type rnode struct {
 type rsourceState struct {
 	posSentAt   int
 	posAttempts int
-	havePos     bool
-	dead        map[sim.NodeID]bool
-	replans     int
-	detours     int
-	failure     string
+	havePos        bool
+	dead           map[sim.NodeID]bool
+	replans        int
+	detours        int
+	suspectDetours int
+	failure        string
+}
+
+// suspectDetourPath plans s→t around the suspect avoid set over LDel²:
+// ETX-weighted when loss-aware planning is engaged (the detour then also
+// prefers low-loss links), plain node-avoiding otherwise. Returns nil when no
+// path avoids every suspect — suspicion is not proof of death, so the caller
+// then routes through the suspect and lets the retry protocol adjudicate.
+func (nw *Network) suspectDetourPath(s, t sim.NodeID, avoid map[sim.NodeID]bool, lossAware bool) []sim.NodeID {
+	if lossAware {
+		if p, _, ok := nw.LDel.ShortestPathWeighted(s, t, nw.etxWeight(t, avoid)); ok {
+			return p
+		}
+		return nil
+	}
+	if p, _, ok := nw.LDel.ShortestPathAvoiding(s, t, avoid); ok {
+		return p
+	}
+	return nil
 }
 
 // deliverReliable runs the ack/retry/replan protocol for one query. With
@@ -411,32 +453,68 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 	src := &rsourceState{posSentAt: -1, dead: make(map[sim.NodeID]bool)}
 
 	// replanFrom computes a fresh hop path holder→t around the known-dead
-	// nodes: first through the hybrid planner (Network or Engine plan
-	// cache), loss-detoured when the mode is on; if that plan crosses a
-	// dead node, through an LDel² shortest path with the dead set removed
-	// (ETX-weighted in loss-aware mode, so the escape route also prefers
-	// low-loss links). The second return names the planner that produced
-	// the path, for trace attribution.
+	// nodes and the liveness table's current suspects: first through the
+	// hybrid planner (Network or Engine plan cache), loss-detoured when the
+	// mode is on; if that plan crosses a dead or suspected node, through an
+	// LDel² shortest path with the avoid set removed (ETX-weighted in
+	// loss-aware mode, so the escape route also prefers low-loss links).
+	// Mid-query replans never probe a suspect — the payload at stake just
+	// lost a retry budget — but suspicion stays soft: if no path avoids every
+	// suspect, the suspects are readmitted and only the dead set is avoided.
+	// The second return names the planner that produced the path, for trace
+	// attribution.
 	replanFrom := func(holder sim.NodeID) ([]sim.NodeID, string, bool) {
+		avoid := src.dead
+		suspects := nw.Live.AvoidSet(holder, t)
+		if len(suspects) > 0 {
+			avoid = make(map[sim.NodeID]bool, len(src.dead)+len(suspects))
+			for v := range src.dead {
+				avoid[v] = true
+			}
+			for v := range suspects {
+				avoid[v] = true
+			}
+		}
 		out := nw.route(planner, holder, t, false)
-		if out.Reached && !pathHitsAny(out.Path, src.dead) {
+		if out.Reached && !pathHitsAny(out.Path, avoid) {
 			plan := planner.label()
 			if out.PlanFallback {
 				plan = planLDelFallback
 			}
-			if lossAware && nw.applyLossDetour(&out, t, src.dead) {
+			if lossAware && nw.applyLossDetour(&out, t, avoid) {
 				src.detours++
 				plan = planLDelETX
 			}
 			return out.Path, plan, true
 		}
+		suspectsOnly := out.Reached && !pathHitsAny(out.Path, src.dead)
 		if lossAware {
-			if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, src.dead)); ok {
+			if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, avoid)); ok {
+				if suspectsOnly {
+					src.suspectDetours++
+					return p, planSuspectAvoid, true
+				}
 				return p, planLDelETX, true
 			}
 		}
-		if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, src.dead); ok {
+		if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, avoid); ok {
+			if suspectsOnly {
+				src.suspectDetours++
+				return p, planSuspectAvoid, true
+			}
 			return p, planLDelAvoid, true
+		}
+		if len(suspects) > 0 {
+			// No path clears every suspect: readmit them and avoid only the
+			// nodes whose retry budgets actually died on this query.
+			if lossAware {
+				if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, src.dead)); ok {
+					return p, planLDelETX, true
+				}
+			}
+			if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, src.dead); ok {
+				return p, planLDelAvoid, true
+			}
 		}
 		return nil, "", false
 	}
@@ -578,9 +656,18 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 				}
 				// Budget exhausted: the hop is dead. The source replans
 				// locally; any other holder strands the payload and raises
-				// a nack.
+				// a nack. Either way the next hop is marked suspected in the
+				// shared liveness table, so every later plan — this query's
+				// replans and other queries' initial plans — routes around it
+				// without burning another budget.
 				me.pends = append(me.pends[:i], me.pends[i+1:]...)
 				me.obs = append(me.obs, linkObs{to: p.to, attempts: p.attempts, acked: false})
+				if nw.Live.Suspect(p.to) {
+					me.suspects++
+					if tr != nil {
+						tr.Emit(trace.Event{Kind: trace.KindSuspect, Round: round, From: int(v), To: int(p.to), Attempt: p.attempts, Plan: p.msg.plan})
+					}
+				}
 				if v == s {
 					if !src.dead[p.to] {
 						src.dead[p.to] = true
@@ -643,9 +730,11 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		rep.DeliveredSim = st[t].delivered
 		rep.Replans = src.replans
 		rep.Detours += src.detours
+		rep.SuspectDetours += src.suspectDetours
 		for v := range st {
 			rep.Retransmits += st[v].retrans
 			rep.DataHops += st[v].hopsIn
+			rep.Suspected += st[v].suspects
 		}
 	}
 	if _, err := nw.Sim.Run(); err != nil {
@@ -657,14 +746,17 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		return rep, err
 	}
 	fillDiagnostics()
-	// Feed the ack outcomes back into the link-quality estimates, in node
-	// order so the fold is deterministic. Clean first-attempt successes are
-	// no-ops inside Observe, so lossless runs leave the estimator untouched.
-	if nw.Link != nil {
-		for v := range st {
-			for _, o := range st[v].obs {
+	// Feed the ack outcomes back into the link-quality estimates and the
+	// liveness table's probation counters, in node order so the fold is
+	// deterministic. Clean first-attempt successes are no-ops inside Observe
+	// and ObserveAck ignores unsuspected nodes, so lossless runs leave both
+	// untouched.
+	for v := range st {
+		for _, o := range st[v].obs {
+			if nw.Link != nil {
 				nw.Link.Observe(sim.NodeID(v), o.to, o.attempts, o.acked)
 			}
+			nw.Live.ObserveAck(o.to, o.attempts, o.acked)
 		}
 	}
 	if rep.DeliveredSim {

@@ -121,79 +121,8 @@ func hullsOverlap(a, b []geom.Point) bool {
 	return false
 }
 
-// DetectHoles finds all radio holes of the planar graph ldel (assumed to be
-// LDel²(V) or a planar supergraph of it) for transmission radius r.
-//
-// Inner holes are bounded faces with ≥ 4 distinct nodes. For outer holes,
-// the convex hull CH(V) of the node set is overlaid (Definition 2.5) and
-// bounded faces of the combined graph with ≥ 3 nodes containing a hull edge
-// longer than r are reported.
-func DetectHoles(ldel *PlanarGraph, r float64) *HoleSet {
-	hs := &HoleSet{NodeHoles: make(map[udg.NodeID][]int)}
-
-	faces := ldel.Faces()
-	outer := ldel.OuterFaceIndex(faces)
-	for i, f := range faces {
-		if i == outer {
-			hs.OuterBoundary = append([]udg.NodeID(nil), f.Cycle...)
-			continue
-		}
-		if f.DistinctNodes() >= 4 {
-			hs.addHole(ldel, f.Cycle, false)
-		}
-	}
-
-	// Outer holes: overlay convex hull edges of the full point set.
-	hullPts := geom.ConvexHull(ldel.Points())
-	if len(hullPts) >= 3 {
-		ptIndex := make(map[geom.Point]udg.NodeID, ldel.N())
-		for v := 0; v < ldel.N(); v++ {
-			ptIndex[ldel.Point(udg.NodeID(v))] = udg.NodeID(v)
-		}
-		gbar := ldel.Clone()
-		type hedge struct{ a, b udg.NodeID }
-		longHull := make(map[hedge]bool)
-		for i := range hullPts {
-			pa, pb := hullPts[i], hullPts[(i+1)%len(hullPts)]
-			a, okA := ptIndex[pa]
-			b, okB := ptIndex[pb]
-			if !okA || !okB {
-				continue
-			}
-			gbar.AddEdge(a, b)
-			if pa.Dist(pb) > r {
-				longHull[hedge{a, b}] = true
-				longHull[hedge{b, a}] = true
-			}
-		}
-		if len(longHull) > 0 {
-			bfaces := gbar.Faces()
-			bouter := gbar.OuterFaceIndex(bfaces)
-			for i, f := range bfaces {
-				if i == bouter || f.DistinctNodes() < 3 {
-					continue
-				}
-				has := false
-				n := len(f.Cycle)
-				for j := 0; j < n && !has; j++ {
-					if longHull[hedge{f.Cycle[j], f.Cycle[(j+1)%n]}] {
-						has = true
-					}
-				}
-				if has {
-					hs.addHole(ldel, f.Cycle, true)
-				}
-			}
-		}
-	}
-
-	for i, h := range hs.Holes {
-		for _, v := range h.Ring {
-			hs.NodeHoles[v] = append(hs.NodeHoles[v], i)
-		}
-	}
-	return hs
-}
+// DetectHoles lives in patch.go alongside DetectHolesLive (the two share one
+// implementation differing only in dead-node exclusion and hole reuse).
 
 func (hs *HoleSet) addHole(g *PlanarGraph, cycle []udg.NodeID, outer bool) {
 	h := &Hole{

@@ -470,9 +470,10 @@ func E10(opt Options) (*Result, error) {
 // All runs every experiment in order, including the extension experiments
 // E11–E13 (paper §7 future work and the abstraction ablation), the batch
 // engine (E15), the fault-injection delivery sweep (E16), the loss-aware
-// planning comparison (E17) and the traced-query observability demo (E18).
+// planning comparison (E17), the traced-query observability demo (E18) and
+// the churn robustness sweep (E19).
 func All(opt Options) ([]*Result, error) {
-	fns := []func(Options) (*Result, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18}
+	fns := []func(Options) (*Result, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19}
 	var out []*Result
 	for _, fn := range fns {
 		r, err := fn(opt)

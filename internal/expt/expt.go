@@ -44,8 +44,13 @@ type Options struct {
 	// GOMAXPROCS).
 	Workers int
 	// TraceDir, when set, makes E18 write its traced-query artifacts
-	// (E18_trace.json, E18_trace.svg) into this directory.
+	// (E18_trace.json, E18_trace.svg) and E19 its churn sweep
+	// (E19_churn.json) into this directory.
 	TraceDir string
+	// Churn, when > 0, appends a row with this many crash+recover cycles
+	// to E19's churn sweep (it becomes the row the repair statistics and
+	// artifacts report on).
+	Churn int
 }
 
 func (o Options) seed() int64 {

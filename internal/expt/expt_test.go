@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,3 +40,23 @@ func TestE12(t *testing.T) { runExpt(t, E12, "E12") }
 func TestE13(t *testing.T) { runExpt(t, E13, "E13") }
 func TestE14(t *testing.T) { runExpt(t, E14, "E14") }
 func TestE17(t *testing.T) { runExpt(t, E17, "E17") }
+
+func TestE19(t *testing.T) {
+	dir := t.TempDir()
+	r, err := E19(Options{Quick: true, Seed: 1, TraceDir: dir})
+	if err != nil {
+		t.Fatalf("E19: %v", err)
+	}
+	if !r.Pass {
+		t.Errorf("E19: claim check failed\n%s\nnotes: %v", r.Table, r.Notes)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "E19_churn.json"))
+	if err != nil {
+		t.Fatalf("E19 artifact: %v", err)
+	}
+	for _, want := range []string{"rows", "metrics", "membership_events", "hybridroute_sim_crashes_total"} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("E19_churn.json missing %q", want)
+		}
+	}
+}

@@ -180,6 +180,7 @@ func transportReportsEqual(a, b *core.TransportReport) bool {
 		a.AdHocWords != b.AdHocWords || a.LongWords != b.LongWords ||
 		a.DeliveredSim != b.DeliveredSim || a.Retransmits != b.Retransmits ||
 		a.Replans != b.Replans || a.DataHops != b.DataHops || a.Detours != b.Detours ||
+		a.Suspected != b.Suspected || a.SuspectDetours != b.SuspectDetours ||
 		a.LossDetour != b.LossDetour || len(a.Path) != len(b.Path) {
 		return false
 	}

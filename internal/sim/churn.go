@@ -1,0 +1,218 @@
+// Dynamic membership (churn): nodes crashing and recovering while the system
+// is live. This extends the fail-stop model of faults.go — where the Crashed
+// list is fixed before a run starts — with mid-run membership changes driven
+// either by the public Crash/Recover API (between Run invocations) or by a
+// seeded, round-stamped ChurnSchedule applied by the simulator itself at round
+// boundaries.
+//
+// Every effective membership change advances a monotone topology generation
+// (mirroring core.LinkStats.Generation()): layers that cache anything derived
+// from the topology key their caches by this counter so stale state dies on
+// churn instead of misrouting. Listeners registered via OnMembershipChange
+// observe each change; the simulator invokes them in its serial section (at a
+// round boundary, before any protocol steps of that round), so repairs never
+// race with parallel stepping.
+
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridroute/internal/trace"
+)
+
+// ChurnEvent is one scheduled membership change. Round is relative to the
+// moment the schedule was installed via SetFaults: an event with Round r fires
+// at the boundary of the r-th round executed after installation.
+type ChurnEvent struct {
+	Round int
+	Node  NodeID
+	Up    bool // false: crash; true: recover
+}
+
+// ChurnSchedule is a list of membership changes replayed deterministically by
+// the simulator. Events need not be pre-sorted; SetFaults orders them by Round
+// (stable, so same-round events keep their given order). An event that is a
+// no-op at fire time (crashing an already-crashed node, recovering a live one)
+// is skipped without advancing the topology generation.
+type ChurnSchedule struct {
+	Events []ChurnEvent
+}
+
+// GenerateChurn builds a seeded crash/recover schedule for a network of n
+// nodes: `crashes` victims are drawn deterministically from seed among nodes
+// not in protect, their crash rounds are spread evenly across [1, horizon],
+// and each crash is paired with a recovery dwell rounds later. Two calls with
+// equal arguments produce identical schedules. Victims are chosen so a node is
+// never crashed while already down; nodes in protect (typically query
+// endpoints) are never crashed.
+func GenerateChurn(seed uint64, n, horizon, crashes, dwell int, protect []NodeID) ChurnSchedule {
+	if n <= 0 || crashes <= 0 || horizon <= 0 {
+		return ChurnSchedule{}
+	}
+	if dwell < 1 {
+		dwell = 1
+	}
+	prot := make(map[NodeID]bool, len(protect))
+	for _, v := range protect {
+		prot[v] = true
+	}
+	gap := horizon / (crashes + 1)
+	if gap < 1 {
+		gap = 1
+	}
+	downUntil := make(map[NodeID]int)
+	h := seed ^ 0xc6a4a7935bd1e995
+	var evs []ChurnEvent
+	for i := 0; i < crashes; i++ {
+		r := (i + 1) * gap
+		victim := NodeID(-1)
+		for try := 0; try < 4*n; try++ {
+			h = splitmix64(h ^ uint64(i*8191+try))
+			v := NodeID(h % uint64(n))
+			if !prot[v] && downUntil[v] <= r {
+				victim = v
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		downUntil[victim] = r + dwell
+		evs = append(evs,
+			ChurnEvent{Round: r, Node: victim, Up: false},
+			ChurnEvent{Round: r + dwell, Node: victim, Up: true})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Round < evs[j].Round })
+	return ChurnSchedule{Events: evs}
+}
+
+// Crash marks v failed from now on: it takes no protocol steps and messages to
+// or from it vanish. The change notifies membership listeners and advances the
+// topology generation. Crashing an already-crashed node is a no-op. Like
+// ResetCounters, Crash must only be called between Run invocations — never
+// while Run executes (enforced) and never concurrently with engine queries
+// (documented; see the race tests in internal/core).
+func (s *Sim) Crash(v NodeID) error {
+	if err := s.checkMembershipCall("Crash", v); err != nil {
+		return err
+	}
+	s.setMembership(v, false)
+	return nil
+}
+
+// Recover marks a crashed v live again: it resumes protocol stepping with
+// whatever per-node state it held before crashing. The change notifies
+// membership listeners and advances the topology generation. Recovering a
+// live node is a no-op. The same "between runs only" discipline as Crash
+// applies.
+func (s *Sim) Recover(v NodeID) error {
+	if err := s.checkMembershipCall("Recover", v); err != nil {
+		return err
+	}
+	s.setMembership(v, true)
+	return nil
+}
+
+func (s *Sim) checkMembershipCall(op string, v NodeID) error {
+	if s.running {
+		return fmt.Errorf("sim: %s(%d) during Run — membership changes are only legal between runs (same discipline as Counters); schedule mid-run churn via FaultConfig.Churn", op, v)
+	}
+	if v < 0 || int(v) >= s.g.N() {
+		return fmt.Errorf("sim: %s node %d out of range [0, %d)", op, v, s.g.N())
+	}
+	return nil
+}
+
+// TopoGeneration returns the monotone topology generation: it advances by one
+// on every effective membership change (dynamic Crash/Recover and fired churn
+// events — not the static FaultConfig.Crashed list, which keeps the
+// PR 2 semantics of faults the topology layers are not told about). Plan
+// caches mix it into their keys so entries computed under an older topology
+// are never served after a change.
+func (s *Sim) TopoGeneration() uint64 { return s.topoGen }
+
+// OnMembershipChange registers fn to run immediately after every effective
+// membership change, with up=false for a crash and up=true for a recovery.
+// Callbacks execute in the simulator's serial section (between rounds for
+// scheduled churn, or inside Crash/Recover between runs), so they may rebuild
+// shared structures without racing parallel stepping — but they must not call
+// back into Run, Crash or Recover.
+func (s *Sim) OnMembershipChange(fn func(v NodeID, up bool)) {
+	s.memberFns = append(s.memberFns, fn)
+}
+
+// setMembership applies one membership change, returning whether it changed
+// anything. It lazily allocates a lossless fault state when a node crashes on
+// a simulator without faults installed, so crash bookkeeping has somewhere to
+// live.
+func (s *Sim) setMembership(v NodeID, up bool) bool {
+	if s.faults == nil {
+		if up {
+			return false // recovering on a faultless sim: nothing is down
+		}
+		s.faults = &faultState{
+			crashed: make([]bool, s.g.N()),
+			sendSeq: make([]uint64, s.g.N()),
+			drops:   make([]DropCounters, s.g.N()),
+		}
+	}
+	crashed := !up
+	if s.faults.crashed[v] == crashed {
+		return false
+	}
+	s.faults.crashed[v] = crashed
+	if crashed {
+		// In-flight messages addressed to v arrive at a dead node: they
+		// vanish rather than sit in a queue a recovery would replay.
+		s.pending[v] = nil
+	}
+	if up && s.faults.inert() {
+		// The recovery healed the last fault of a state with no loss model
+		// and no unfired churn: drop it entirely so FaultsActive() reverts
+		// to false and a fully healed simulator is indistinguishable from
+		// one that never churned (the byte-identity contract). The spent
+		// state's drop counters go with it — they describe a fault episode
+		// that no longer exists; read them before the last Recover if the
+		// totals matter.
+		s.faults = nil
+	}
+	s.topoGen++
+	if s.tracer != nil {
+		kind := trace.KindCrash
+		if up {
+			kind = trace.KindRecover
+		}
+		s.tracer.Emit(trace.Event{Kind: kind, Round: s.rounds, From: int(v)})
+	}
+	for _, fn := range s.memberFns {
+		fn(v, up)
+	}
+	return true
+}
+
+// applyDueChurn fires every schedule event whose stamp has arrived. Called at
+// the top of step(), in the serial section before any protocol runs, so
+// membership listeners (topology repair) never observe a half-stepped round
+// and never race with the parallel worker pool.
+func (s *Sim) applyDueChurn() {
+	f := s.faults
+	if f == nil || f.churnNext >= len(f.churn) {
+		return
+	}
+	rel := s.rounds - f.churnBase
+	for f.churnNext < len(f.churn) && f.churn[f.churnNext].Round <= rel {
+		ev := f.churn[f.churnNext]
+		f.churnNext++
+		s.setMembership(ev.Node, ev.Up)
+	}
+}
+
+// ChurnPending returns how many scheduled churn events have not fired yet.
+func (s *Sim) ChurnPending() int {
+	if s.faults == nil {
+		return 0
+	}
+	return len(s.faults.churn) - s.faults.churnNext
+}

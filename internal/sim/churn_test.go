@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hybridroute/internal/trace"
+)
+
+// TestSetFaultsRejectsNaN pins the non-finite validation bugfix: NaN compares
+// false against both range bounds, so the old `x < 0 || x > 1` checks let it
+// through into the drop hash.
+func TestSetFaultsRejectsNaN(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	nan := math.NaN()
+	cases := []FaultConfig{
+		{AdHocLoss: nan},
+		{LongLoss: nan},
+		{LossRegions: []LossRegion{{Radius: 1, AdHocLoss: nan}}},
+		{LossRegions: []LossRegion{{Radius: 1, LongLoss: nan}}},
+		{LossRegions: []LossRegion{{Radius: nan, AdHocLoss: 0.5}}},
+	}
+	for i, cfg := range cases {
+		if err := s.SetFaults(cfg); err == nil {
+			t.Errorf("case %d: NaN rate/radius must be rejected", i)
+		}
+	}
+	if err := s.SetFaults(FaultConfig{AdHocLoss: math.Inf(1)}); err == nil {
+		t.Error("infinite loss rate must be rejected")
+	}
+}
+
+// TestSetFaultsRejectsDuplicateCrashed pins the set semantics of Crashed: a
+// duplicated node ID is rejected with an error naming it.
+func TestSetFaultsRejectsDuplicateCrashed(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	err := s.SetFaults(FaultConfig{Crashed: []NodeID{1, 2, 1}})
+	if err == nil {
+		t.Fatal("duplicate crashed node must be rejected")
+	}
+	if !strings.Contains(err.Error(), "node 1") {
+		t.Errorf("error must name the duplicate, got: %v", err)
+	}
+}
+
+// TestCrashRecoverLifecycle exercises the dynamic membership API: generation
+// advances once per effective change, no-ops don't advance it, listeners see
+// every change, and out-of-range nodes are rejected.
+func TestCrashRecoverLifecycle(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	type change struct {
+		v  NodeID
+		up bool
+	}
+	var seen []change
+	s.OnMembershipChange(func(v NodeID, up bool) { seen = append(seen, change{v, up}) })
+
+	if g := s.TopoGeneration(); g != 0 {
+		t.Fatalf("fresh sim generation = %d, want 0", g)
+	}
+	if err := s.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsCrashed(2) || s.TopoGeneration() != 1 {
+		t.Fatalf("after Crash(2): crashed=%v gen=%d", s.IsCrashed(2), s.TopoGeneration())
+	}
+	if err := s.Crash(2); err != nil { // idempotent no-op
+		t.Fatal(err)
+	}
+	if s.TopoGeneration() != 1 {
+		t.Fatalf("re-crash must not advance the generation, got %d", s.TopoGeneration())
+	}
+	if err := s.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsCrashed(2) || s.TopoGeneration() != 2 {
+		t.Fatalf("after Recover(2): crashed=%v gen=%d", s.IsCrashed(2), s.TopoGeneration())
+	}
+	if err := s.Recover(2); err != nil { // no-op again
+		t.Fatal(err)
+	}
+	if s.TopoGeneration() != 2 {
+		t.Fatalf("re-recover must not advance the generation, got %d", s.TopoGeneration())
+	}
+	if err := s.Crash(99); err == nil {
+		t.Error("out-of-range Crash must be rejected")
+	}
+	if err := s.Recover(-1); err == nil {
+		t.Error("out-of-range Recover must be rejected")
+	}
+	want := []change{{2, false}, {2, true}}
+	if len(seen) != len(want) {
+		t.Fatalf("listener saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("listener saw %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestCrashDuringRunRejected enforces the "no membership changes during Run"
+// discipline (same as Counters): Crash/Recover called from inside a protocol
+// step must error instead of racing the round.
+func TestCrashDuringRunRejected(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	var crashErr, recoverErr error
+	s.SetProto(0, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		if round == 0 {
+			crashErr = s.Crash(1)
+			recoverErr = s.Recover(1)
+			ctx.SendAdHoc(1, "ping")
+		}
+	}))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if crashErr == nil || recoverErr == nil {
+		t.Fatalf("mid-Run Crash/Recover must be rejected, got %v / %v", crashErr, recoverErr)
+	}
+	if s.TopoGeneration() != 0 || s.IsCrashed(1) {
+		t.Error("rejected mid-Run membership change must not take effect")
+	}
+	// Between runs the same calls are legal.
+	if err := s.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurnScheduleFiresMidRun pins schedule-driven churn: a crash stamped at
+// round r kills the node at the boundary of round r, in-flight messages to it
+// vanish, and a later recovery revives it — all observed by listeners with
+// the tracer recording crash/recover events.
+func TestChurnScheduleFiresMidRun(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	tr := trace.New(0)
+	s.SetTracer(tr)
+	var ups, downs int
+	s.OnMembershipChange(func(v NodeID, up bool) {
+		if v != 2 {
+			t.Errorf("unexpected membership change of node %d", v)
+		}
+		if up {
+			ups++
+		} else {
+			downs++
+		}
+	})
+	err := s.SetFaults(FaultConfig{Churn: ChurnSchedule{Events: []ChurnEvent{
+		{Round: 2, Node: 2, Up: false},
+		{Round: 5, Node: 2, Up: true},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.FaultsActive() {
+		t.Fatal("a churn schedule alone must activate the fault model")
+	}
+	// Node 1 pings node 2 every round for 8 rounds; node 2 echoes back.
+	got := 0
+	s.SetProto(1, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		got += len(inbox)
+		if round < 8 {
+			ctx.SendAdHoc(2, "ping")
+			ctx.KeepAlive()
+		}
+	}))
+	s.SetProto(2, ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+		for range inbox {
+			ctx.SendAdHoc(1, "echo")
+		}
+	}))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if downs != 1 || ups != 1 {
+		t.Fatalf("listener saw %d crashes / %d recoveries, want 1 / 1", downs, ups)
+	}
+	if s.TopoGeneration() != 2 {
+		t.Fatalf("generation = %d, want 2", s.TopoGeneration())
+	}
+	if s.IsCrashed(2) {
+		t.Error("node 2 must be recovered at end of run")
+	}
+	if s.ChurnPending() != 0 {
+		t.Errorf("%d churn events never fired", s.ChurnPending())
+	}
+	// Echoes flow before the crash and after the recovery, but not while
+	// down: pings of rounds 0..7, echoes lost for sends landing in the dead
+	// window. With crash at round 2 and recovery at round 5, strictly fewer
+	// than 8 echoes arrive.
+	if got == 0 || got >= 8 {
+		t.Errorf("echo count %d does not reflect a dead window", got)
+	}
+	counts := tr.CountByKind()
+	if counts["crash"] != 1 || counts["recover"] != 1 {
+		t.Errorf("trace counts = %v, want one crash and one recover", counts)
+	}
+}
+
+// TestStaticCrashedStaysSilent pins the compatibility contract: the static
+// Crashed list keeps PR 2 semantics — no listener notification, no topology
+// generation advance — so pre-churn flows stay byte-identical.
+func TestStaticCrashedStaysSilent(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	notified := 0
+	s.OnMembershipChange(func(NodeID, bool) { notified++ })
+	if err := s.SetFaults(FaultConfig{Crashed: []NodeID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if notified != 0 || s.TopoGeneration() != 0 {
+		t.Fatalf("static Crashed must not notify (saw %d) nor advance the generation (%d)",
+			notified, s.TopoGeneration())
+	}
+	if !s.IsCrashed(1) {
+		t.Fatal("static crash must still take effect")
+	}
+}
+
+// TestSetFaultsReconcilesDynamicMembership: once the generation has advanced,
+// replacing the fault config reconciles membership to the new Crashed set and
+// notifies listeners of the delta — including full removal of the fault model.
+func TestSetFaultsReconcilesDynamicMembership(t *testing.T) {
+	s := New(lineGraph(4, 0.9), Config{})
+	var seen []NodeID
+	s.OnMembershipChange(func(v NodeID, up bool) { seen = append(seen, v) })
+	if err := s.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	// Swap to a config that crashes 1 instead: 3 recovers, 1 crashes.
+	if err := s.SetFaults(FaultConfig{Crashed: []NodeID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsCrashed(3) || !s.IsCrashed(1) {
+		t.Fatalf("reconcile failed: crashed(3)=%v crashed(1)=%v", s.IsCrashed(3), s.IsCrashed(1))
+	}
+	// Remove faults entirely: 1 recovers.
+	if err := s.SetFaults(FaultConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.FaultsActive() || s.IsCrashed(1) {
+		t.Error("inactive config must clear all membership state")
+	}
+	if len(seen) != 4 { // crash 3, recover 3, crash 1, recover 1
+		t.Errorf("listener saw %v, want 4 changes", seen)
+	}
+	if s.TopoGeneration() != 4 {
+		t.Errorf("generation = %d, want 4", s.TopoGeneration())
+	}
+}
+
+// TestGenerateChurnDeterministic pins schedule generation: same arguments,
+// same schedule; protected nodes are never crashed; every crash is paired
+// with a recovery dwell rounds later.
+func TestGenerateChurnDeterministic(t *testing.T) {
+	a := GenerateChurn(7, 100, 400, 5, 30, []NodeID{0, 1})
+	b := GenerateChurn(7, 100, 400, 5, 30, []NodeID{0, 1})
+	if len(a.Events) != len(b.Events) || len(a.Events) != 10 {
+		t.Fatalf("schedules differ or wrong size: %d vs %d", len(a.Events), len(b.Events))
+	}
+	downAt := make(map[NodeID]int)
+	for i, ev := range a.Events {
+		if ev != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ev, b.Events[i])
+		}
+		if ev.Node == 0 || ev.Node == 1 {
+			t.Errorf("protected node %d appears in schedule", ev.Node)
+		}
+		if i > 0 && ev.Round < a.Events[i-1].Round {
+			t.Error("events not sorted by round")
+		}
+		if !ev.Up {
+			downAt[ev.Node] = ev.Round
+		} else if ev.Round-downAt[ev.Node] != 30 {
+			t.Errorf("node %d recovery %d rounds after crash, want dwell=30", ev.Node, ev.Round-downAt[ev.Node])
+		}
+	}
+	other := GenerateChurn(8, 100, 400, 5, 30, nil)
+	same := len(other.Events) == len(a.Events)
+	if same {
+		for i := range other.Events {
+			if other.Events[i] != a.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds must give different schedules")
+	}
+}

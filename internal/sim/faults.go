@@ -11,8 +11,10 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"hybridroute/internal/geom"
+	"hybridroute/internal/trace"
 )
 
 // FaultConfig describes the injected faults. The zero value is the lossless
@@ -41,6 +43,11 @@ type FaultConfig struct {
 	// region; region and global probabilities combine by taking the
 	// maximum.
 	LossRegions []LossRegion
+	// Churn schedules mid-run membership changes (crashes and recoveries)
+	// replayed by the simulator at round boundaries; see ChurnSchedule.
+	// Unlike Crashed, fired churn events notify membership listeners and
+	// advance the topology generation.
+	Churn ChurnSchedule
 }
 
 // LossRegion is a disc inside which message loss is elevated.
@@ -55,7 +62,7 @@ type LossRegion struct {
 
 // active reports whether the configuration injects any fault at all.
 func (f FaultConfig) active() bool {
-	if f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0 {
+	if f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0 || len(f.Churn.Events) > 0 {
 		return true
 	}
 	for _, r := range f.LossRegions {
@@ -95,6 +102,31 @@ type faultState struct {
 	// stream of one link class cannot perturb the other's decisions.
 	sendSeq []uint64
 	drops   []DropCounters
+	// churn is the installed schedule sorted by Round; churnNext is the
+	// fire cursor and churnBase the simulator round at installation (event
+	// rounds are relative to it). The cursor survives ResetCounters like
+	// the drop stream does: reinstall the config to replay the schedule.
+	churn     []ChurnEvent
+	churnNext int
+	churnBase int
+}
+
+// inert reports whether the state can no longer affect any future send: no
+// loss anywhere, nobody crashed, and no churn event left to fire. An inert
+// state only holds history (drop counters), not behavior.
+func (f *faultState) inert() bool {
+	if f.adHocLoss != 0 || f.longLoss != 0 || f.regionAdHoc != nil || f.regionLong != nil {
+		return false
+	}
+	if f.churnNext < len(f.churn) {
+		return false
+	}
+	for _, c := range f.crashed {
+		if c {
+			return false
+		}
+	}
+	return true
 }
 
 // SetFaults installs (or, with an inactive config, removes) the fault model.
@@ -102,28 +134,54 @@ type faultState struct {
 // preprocessing pipeline has finished and before transport experiments start.
 // Installing a config resets the drop stream: the next send of every node
 // uses sequence number zero again.
+//
+// Crashed is a set: each node may be listed at most once (a duplicate is
+// rejected by name, since it usually means a generator bug). The static
+// Crashed list deliberately does NOT notify membership listeners or advance
+// the topology generation — it models faults the topology layers were never
+// told about, so plans still run through those nodes and the transport
+// discovers them the hard way. Dynamic membership (Crash/Recover, fired
+// Churn events) is what drives repair. On a simulator whose topology
+// generation has already advanced, SetFaults reconciles: listeners are
+// notified for every node whose membership the new config flips, so repaired
+// layers converge back to the configured state.
 func (s *Sim) SetFaults(cfg FaultConfig) error {
-	if cfg.AdHocLoss < 0 || cfg.AdHocLoss > 1 {
+	// The bounds checks are written as negated conjunctions so a NaN rate —
+	// for which both x < 0 and x > 1 are false — is rejected too.
+	if !(cfg.AdHocLoss >= 0 && cfg.AdHocLoss <= 1) {
 		return fmt.Errorf("sim: AdHocLoss %v outside [0, 1]", cfg.AdHocLoss)
 	}
-	if cfg.LongLoss < 0 || cfg.LongLoss > 1 {
+	if !(cfg.LongLoss >= 0 && cfg.LongLoss <= 1) {
 		return fmt.Errorf("sim: LongLoss %v outside [0, 1]", cfg.LongLoss)
 	}
+	seen := make(map[NodeID]bool, len(cfg.Crashed))
 	for _, v := range cfg.Crashed {
 		if v < 0 || int(v) >= s.g.N() {
 			return fmt.Errorf("sim: crashed node %d out of range [0, %d)", v, s.g.N())
 		}
+		if seen[v] {
+			return fmt.Errorf("sim: crashed node %d listed more than once (Crashed is a set)", v)
+		}
+		seen[v] = true
 	}
 	for i, r := range cfg.LossRegions {
-		if r.AdHocLoss < 0 || r.AdHocLoss > 1 || r.LongLoss < 0 || r.LongLoss > 1 {
+		if !(r.AdHocLoss >= 0 && r.AdHocLoss <= 1) || !(r.LongLoss >= 0 && r.LongLoss <= 1) {
 			return fmt.Errorf("sim: region %d loss (%v, %v) outside [0, 1]", i, r.AdHocLoss, r.LongLoss)
 		}
-		if r.Radius < 0 {
-			return fmt.Errorf("sim: region %d radius %v negative", i, r.Radius)
+		if !(r.Radius >= 0) {
+			return fmt.Errorf("sim: region %d radius %v invalid", i, r.Radius)
+		}
+	}
+	for i, ev := range cfg.Churn.Events {
+		if ev.Node < 0 || int(ev.Node) >= s.g.N() {
+			return fmt.Errorf("sim: churn event %d node %d out of range [0, %d)", i, ev.Node, s.g.N())
+		}
+		if ev.Round < 0 {
+			return fmt.Errorf("sim: churn event %d round %d negative", i, ev.Round)
 		}
 	}
 	if !cfg.active() {
-		s.faults = nil
+		s.installFaults(nil)
 		return nil
 	}
 	f := &faultState{
@@ -136,6 +194,11 @@ func (s *Sim) SetFaults(cfg FaultConfig) error {
 	}
 	for _, v := range cfg.Crashed {
 		f.crashed[v] = true
+	}
+	if len(cfg.Churn.Events) > 0 {
+		f.churn = append([]ChurnEvent(nil), cfg.Churn.Events...)
+		sort.SliceStable(f.churn, func(i, j int) bool { return f.churn[i].Round < f.churn[j].Round })
+		f.churnBase = s.rounds
 	}
 	if len(cfg.LossRegions) > 0 {
 		f.regionAdHoc = make([]float64, s.g.N())
@@ -154,8 +217,46 @@ func (s *Sim) SetFaults(cfg FaultConfig) error {
 			}
 		}
 	}
-	s.faults = f
+	s.installFaults(f)
 	return nil
+}
+
+// installFaults swaps the runtime fault state in. On a simulator whose
+// topology generation never advanced (no dynamic membership changes yet)
+// this is a plain assignment — byte-identical to the pre-churn code path.
+// Otherwise membership listeners have repaired structures around the old
+// crash set, so the swap reconciles: every node whose membership flips is
+// reported to the listeners (and advances the generation) after the new
+// state is installed, keeping IsCrashed consistent inside the callbacks.
+func (s *Sim) installFaults(f *faultState) {
+	old := s.faults
+	s.faults = f
+	if s.topoGen == 0 {
+		return
+	}
+	for v := 0; v < s.g.N(); v++ {
+		was := old != nil && old.crashed[v]
+		now := f != nil && f.crashed[v]
+		if was == now {
+			continue
+		}
+		// The installed state already holds the target membership, so
+		// setMembership would see a no-op: notify directly.
+		if now {
+			s.pending[v] = nil
+		}
+		s.topoGen++
+		if s.tracer != nil {
+			kind := trace.KindCrash
+			if !now {
+				kind = trace.KindRecover
+			}
+			s.tracer.Emit(trace.Event{Kind: kind, Round: s.rounds, From: v})
+		}
+		for _, fn := range s.memberFns {
+			fn(NodeID(v), !now)
+		}
+	}
 }
 
 // FaultsActive reports whether any fault injection is currently installed.

@@ -115,6 +115,13 @@ type Sim struct {
 	err      error
 	faults   *faultState   // nil: lossless (the paper's model)
 	tracer   *trace.Tracer // nil: tracing disabled (the default)
+
+	// Dynamic membership (churn.go): the monotone topology generation,
+	// membership-change listeners, and the guard that keeps Crash/Recover
+	// out of an executing Run.
+	topoGen   uint64
+	memberFns []func(v NodeID, up bool)
+	running   bool
 }
 
 // New creates a simulation over the given UDG. Protocols are attached with
@@ -254,6 +261,8 @@ func (s *Sim) ResetCounters() {
 // rounds executed. It returns an error if a protocol performed an illegal
 // send in strict mode.
 func (s *Sim) Run() (int, error) {
+	s.running = true
+	defer func() { s.running = false }()
 	start := s.rounds
 	for i := 0; i < s.cfg.MaxRounds; i++ {
 		moved, err := s.step()
@@ -272,6 +281,10 @@ func (s *Sim) Run() (int, error) {
 // delivered or sent, or whether some node kept the round alive via
 // Context.KeepAlive (a retransmission timer still pending).
 func (s *Sim) step() (bool, error) {
+	// Fire due churn events first: membership changes (and the repair
+	// callbacks they trigger) happen in this serial section, never while
+	// protocol steps are in flight.
+	s.applyDueChurn()
 	inboxes := s.pending
 	s.pending = make([][]Envelope, s.g.N())
 	s.nextSent = 0

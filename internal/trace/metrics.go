@@ -87,6 +87,10 @@ var metricName = map[Kind]string{
 	KindCacheHit:   "hybridroute_engine_cache_hits_total",
 	KindCacheMiss:  "hybridroute_engine_cache_misses_total",
 	KindCacheEvict: "hybridroute_engine_cache_evictions_total",
+	KindCrash:      "hybridroute_sim_crashes_total",
+	KindRecover:    "hybridroute_sim_recoveries_total",
+	KindSuspect:    "hybridroute_transport_suspects_total",
+	KindRepair:     "hybridroute_core_repairs_total",
 }
 
 // MergeEvents folds a recorded event stream into the registry: one counter

@@ -41,6 +41,12 @@ const (
 	KindCacheEvict // LRU eviction(s) during a store (Value = entries evicted)
 	KindQueueDepth // queries still unclaimed when a worker took one (Value = depth)
 
+	// Churn events (dynamic membership).
+	KindCrash   // a node left the network (From = node, Round = sim round)
+	KindRecover // a crashed node rejoined (From = node, Round = sim round)
+	KindSuspect // ack telemetry marked a next hop suspected (From = observer, To = suspect)
+	KindRepair  // the overlay was repaired after a membership change (From = node, Plan = "incremental"/"full", Value = holes recomputed)
+
 	numKinds
 )
 
@@ -48,6 +54,7 @@ var kindNames = [numKinds]string{
 	"round", "send", "drop", "deliver",
 	"hop_send", "hop_retry", "hop_ack", "hop_nack", "replan", "detour",
 	"cache_hit", "cache_miss", "cache_evict", "queue_depth",
+	"crash", "recover", "suspect", "repair",
 }
 
 // String returns the stable snake_case name of the kind (also its JSON form).
