@@ -16,10 +16,11 @@ test:
 # The batch engine serves queries from many goroutines over one shared
 # Network, the simulator's fault injection must stay deterministic under
 # parallel stepping, the tracer takes concurrent emits from the worker
-# pool, and churn repair patches the shared triangulation between engine
-# batches; keep all five packages race-clean.
+# pool, churn repair patches the shared triangulation between engine
+# batches, and the hole abstraction backends are read concurrently by every
+# routing worker; keep all six packages race-clean.
 race:
-	go test -race ./internal/core/... ./internal/delaunay/... ./internal/routing/... ./internal/sim/... ./internal/trace/...
+	go test -race ./internal/abstraction/... ./internal/core/... ./internal/delaunay/... ./internal/routing/... ./internal/sim/... ./internal/trace/...
 
 # Benchmarks stream through cmd/benchjson, which passes the benchstat-friendly
 # text through unchanged and archives a JSON summary for CI artifacts.

@@ -12,6 +12,7 @@ import (
 
 	"hybridroute/internal/core"
 	"hybridroute/internal/expt"
+	"hybridroute/internal/geom"
 	"hybridroute/internal/sim"
 	"hybridroute/internal/trace"
 	"hybridroute/internal/workload"
@@ -104,6 +105,83 @@ func BenchmarkE18Trace(b *testing.B) { benchExperiment(b, expt.E18) }
 // schedule against a traced query batch, with incremental repair and
 // suspect failover).
 func BenchmarkE19Churn(b *testing.B) { benchExperiment(b, expt.E19) }
+
+// BenchmarkE20Abstraction runs the hole-abstraction backend comparison
+// (convex hull vs bounding-box overlay on disjoint/overlapping/nested hole
+// hull families).
+func BenchmarkE20Abstraction(b *testing.B) { benchExperiment(b, expt.E20) }
+
+// --- hole abstraction backend micro-benchmarks ---
+//
+// One op = answering a 128-query workload over a preprocessed network on the
+// interlocking-hulls deployment (an L-shape wrapping a bar, hole hulls
+// properly intersecting) under one backend. The hull/bbox pair prices the
+// bounding-box overlay relative to the default on the geometry it targets.
+
+var benchAbsState struct {
+	once sync.Once
+	nws  map[string]*core.Network
+	qs   []core.Query
+	err  error
+}
+
+func benchAbstractionSetup(b *testing.B, backend string) (*core.Network, []core.Query) {
+	b.Helper()
+	s := &benchAbsState
+	s.once.Do(func() {
+		obstacles := [][]geom.Point{
+			{geom.Pt(3, 3), geom.Pt(8, 3), geom.Pt(8, 4.2), geom.Pt(4.2, 4.2), geom.Pt(4.2, 8), geom.Pt(3, 8)},
+			{geom.Pt(5.8, 5.4), geom.Pt(9.2, 5.4), geom.Pt(9.2, 6.6), geom.Pt(5.8, 6.6)},
+		}
+		sc, err := workload.JitteredGrid(0.5, 10, 10, 1, obstacles)
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.nws = make(map[string]*core.Network)
+		for _, name := range []string{"hull", "bbox"} {
+			nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 4, Abstraction: name})
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.nws[name] = nw
+		}
+		rng := rand.New(rand.NewSource(11))
+		n := s.nws["hull"].G.N()
+		for len(s.qs) < 128 {
+			s.qs = append(s.qs, core.Query{S: sim.NodeID(rng.Intn(n)), T: sim.NodeID(rng.Intn(n))})
+		}
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.nws[backend], s.qs
+}
+
+// BenchmarkAbstractionRouteHull routes the intersecting-hulls workload under
+// the default convex-hull backend (merged hull groups).
+func BenchmarkAbstractionRouteHull(b *testing.B) {
+	nw, queries := benchAbstractionSetup(b, "hull")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			nw.Route(q.S, q.T)
+		}
+	}
+}
+
+// BenchmarkAbstractionRouteBBox routes the identical workload under the
+// bounding-box overlay backend (merged boxes, corner waypoints).
+func BenchmarkAbstractionRouteBBox(b *testing.B) {
+	nw, queries := benchAbstractionSetup(b, "bbox")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			nw.Route(q.S, q.T)
+		}
+	}
+}
 
 // --- batch engine micro-benchmarks ---
 //

@@ -48,24 +48,34 @@ type benchFile struct {
 }
 
 // deriveRatios computes cross-benchmark summary metrics that only make sense
-// once related lines are merged into one document: currently the churn
-// plan-cache invalidation overhead (the churned warm batch priced against
-// the stable one, with the raw repair cycle alongside for attribution).
+// once related lines are merged into one document: the churn plan-cache
+// invalidation overhead (the churned warm batch priced against the stable
+// one, with the raw repair cycle alongside for attribution) and the hole
+// abstraction backend overhead (the bbox overlay route workload priced
+// against the hull one on the intersecting-hulls deployment).
 func deriveRatios(doc *benchFile) {
 	ns := make(map[string]float64, len(doc.Benchmarks))
 	for _, b := range doc.Benchmarks {
 		ns[b.Name] = b.NsPerOp
 	}
-	churned, okC := ns["BenchmarkEngineBatchChurned"]
-	stable, okS := ns["BenchmarkEngineBatchStable"]
-	if okC && okS && stable > 0 {
+	derived := func(key string, v float64) {
 		if doc.Derived == nil {
 			doc.Derived = map[string]float64{}
 		}
-		doc.Derived["churn_invalidation_overhead"] = churned / stable
+		doc.Derived[key] = v
+	}
+	churned, okC := ns["BenchmarkEngineBatchChurned"]
+	stable, okS := ns["BenchmarkEngineBatchStable"]
+	if okC && okS && stable > 0 {
+		derived("churn_invalidation_overhead", churned/stable)
 		if repair, ok := ns["BenchmarkChurnRepair"]; ok {
-			doc.Derived["churn_repair_ns_per_cycle"] = repair
+			derived("churn_repair_ns_per_cycle", repair)
 		}
+	}
+	bbox, okB := ns["BenchmarkAbstractionRouteBBox"]
+	hull, okH := ns["BenchmarkAbstractionRouteHull"]
+	if okB && okH && hull > 0 {
+		derived("abstraction_bbox_route_overhead", bbox/hull)
 	}
 }
 

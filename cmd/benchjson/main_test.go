@@ -111,3 +111,26 @@ func TestDeriveChurnOverhead(t *testing.T) {
 		t.Errorf("derived block must be omitted without both batch lines: %v", doc.Derived)
 	}
 }
+
+// TestDeriveAbstractionOverhead pins the derived abstraction block: the bbox
+// route overhead appears only when both backend route lines are present.
+func TestDeriveAbstractionOverhead(t *testing.T) {
+	in := "BenchmarkAbstractionRouteHull-8 100 10000000 ns/op\n" +
+		"BenchmarkAbstractionRouteBBox-8 100 15000000 ns/op\n"
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader([]byte(in)), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Derived["abstraction_bbox_route_overhead"]; got != 1.5 {
+		t.Errorf("abstraction_bbox_route_overhead = %v, want 1.5", got)
+	}
+
+	doc, err = convert(bytes.NewReader([]byte("BenchmarkAbstractionRouteBBox-8 100 15000000 ns/op\n")), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Derived != nil {
+		t.Errorf("derived block must be omitted without the hull control: %v", doc.Derived)
+	}
+}

@@ -1,10 +1,10 @@
-// Command experiments runs the full experiment suite E1–E19 (see DESIGN.md)
+// Command experiments runs the full experiment suite E1–E20 (see DESIGN.md)
 // and prints each result table together with its claim check; EXPERIMENTS.md
 // records a reference run.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed 1] [-only E2] [-workers 8] [-churn 8] [-trace DIR] [-pprof FILE]
+//	experiments [-quick] [-seed 1] [-only E2] [-workers 8] [-churn 8] [-abstraction hull|bbox] [-trace DIR] [-pprof FILE]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	workers := flag.Int("workers", 0, "batch-engine worker pool size for E15 (0 = GOMAXPROCS)")
 	traceDir := flag.String("trace", "", "write the E18/E19 trace artifacts (E18_trace.json/.svg, E19_churn.json) into this directory")
 	churn := flag.Int("churn", 0, "append a row with this many crash+recover cycles to E19's churn sweep")
+	abstraction := flag.String("abstraction", "", "hole abstraction backend for the standard scenario: hull (default) or bbox; E20 always sweeps both")
 	pprofFile := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
@@ -47,12 +48,13 @@ func main() {
 		}
 	}
 
-	opt := expt.Options{Quick: *quick, Seed: *seed, Workers: *workers, TraceDir: *traceDir, Churn: *churn}
+	opt := expt.Options{Quick: *quick, Seed: *seed, Workers: *workers, TraceDir: *traceDir, Churn: *churn, Abstraction: *abstraction}
 	fns := map[string]func(expt.Options) (*expt.Result, error){
 		"E1": expt.E1, "E2": expt.E2, "E3": expt.E3, "E4": expt.E4, "E5": expt.E5,
 		"E6": expt.E6, "E7": expt.E7, "E8": expt.E8, "E9": expt.E9, "E10": expt.E10,
 		"E11": expt.E11, "E12": expt.E12, "E13": expt.E13, "E14": expt.E14,
 		"E15": expt.E15, "E16": expt.E16, "E17": expt.E17, "E18": expt.E18, "E19": expt.E19,
+		"E20": expt.E20,
 	}
 
 	var results []*expt.Result

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
-//	            [-batch] [-workers 0] [-cache 4096]
+//	            [-abstraction hull|bbox] [-batch] [-workers 0] [-cache 4096]
 //	            [-loss 0.05] [-crash 5] [-churn 4] [-retries 3] [-lossaware]
 //	            [-trace FILE] [-pprof FILE]
 package main
@@ -46,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scenario := flag.String("scenario", "uniform", "scenario: uniform, city or maze")
 	router := flag.String("router", "hull", "routing variant: hull (Sec. 4) or visibility (Sec. 3)")
+	abstraction := flag.String("abstraction", "", "hole abstraction backend: hull (default, convex hulls) or bbox (bounding-box overlay, tolerates intersecting hulls)")
 	batch := flag.Bool("batch", false, "answer queries through the concurrent batch engine")
 	workers := flag.Int("workers", 0, "batch engine worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "batch engine plan cache entries (0 = default 4096, negative = disabled)")
@@ -82,7 +83,7 @@ func main() {
 		sc.Name, len(sc.Points), len(sc.Obstacles), sc.Radius)
 
 	g := sc.Build()
-	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed)})
+	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed), Abstraction: *abstraction})
 	if err != nil {
 		log.Fatalf("preprocess: %v", err)
 	}
@@ -97,8 +98,8 @@ func main() {
 	fmt.Printf("holes: %d (hull nodes %d, boundary nodes %d), tree height %d\n",
 		r.NumHoles, r.NumHullNodes, r.NumBoundaryNodes, r.TreeHeight)
 	fmt.Printf("max communication work per node: %d messages / %d words\n", r.MaxMsgs, r.MaxWords)
-	fmt.Printf("storage (words): hull %d, boundary %d, other %d\n",
-		r.StorageHull, r.StorageBoundary, r.StorageOther)
+	fmt.Printf("storage (words): hull %d, boundary %d, other %d (abstraction: %s)\n",
+		r.StorageHull, r.StorageBoundary, r.StorageOther, r.Abstraction)
 	if r.HullsIntersect {
 		fmt.Println("WARNING: hole hulls intersect; the paper's competitiveness assumption is violated")
 	}

@@ -38,7 +38,7 @@ func main() {
 		if h.Outer {
 			continue
 		}
-		tbl.AddRow(i, len(h.Ring), len(h.HullNodes), h.Perimeter(), h.HullCircumference())
+		tbl.AddRow(i, len(h.Ring), len(h.HullNodes), h.Perimeter(), h.BBoxCircumference())
 	}
 	fmt.Println(tbl)
 

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/workload"
+)
+
+// abstractionScenarios is the core-level conformance table: deployment
+// families from hole-free to intersecting and nested hole hulls, each
+// preprocessed under both abstraction backends.
+func abstractionScenarios(t testing.TB) map[string][][]geom.Point {
+	t.Helper()
+	return map[string][][]geom.Point{
+		"hole-free": nil,
+		"single": {
+			workload.RegularPolygon(geom.Pt(5, 5), 1.8, 12, 0.1),
+		},
+		"bay": {
+			workload.StarPolygon(geom.Pt(5, 5), 2, 0.9, 5, 0.2),
+		},
+		"intersecting": {
+			// An L-shape wrapping a bar: the hole hulls properly intersect.
+			{geom.Pt(3, 3), geom.Pt(8, 3), geom.Pt(8, 4.2), geom.Pt(4.2, 4.2), geom.Pt(4.2, 8), geom.Pt(3, 8)},
+			{geom.Pt(5.8, 5.4), geom.Pt(9.2, 5.4), geom.Pt(9.2, 6.6), geom.Pt(5.8, 6.6)},
+		},
+		"nested": {
+			// A horseshoe whose hull encloses a small obstacle in its cavity:
+			// the small hole's hull nests inside the horseshoe hole's hull.
+			workload.HorseshoePolygon(geom.Pt(5, 5), 2.6, 1.4, 2.4),
+			workload.RegularPolygon(geom.Pt(5, 6.4), 0.45, 8, 0.1),
+		},
+	}
+}
+
+func preprocessAbstraction(t testing.TB, obstacles [][]geom.Point, backend string) *Network {
+	t.Helper()
+	sc, err := workload.JitteredGrid(0.5, 10, 10, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 4, Abstraction: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// deliveryRate routes a deterministic pair sample and returns the delivered
+// fraction, the plan-fallback fraction and the worst stretch against the
+// LDel² shortest path.
+func deliveryRate(t testing.TB, nw *Network, trials int) (delivered, fallback, maxStretch float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20))
+	maxStretch = 1
+	for i := 0; i < trials; i++ {
+		s := sim.NodeID(rng.Intn(nw.G.N()))
+		d := sim.NodeID(rng.Intn(nw.G.N()))
+		out := nw.Route(s, d)
+		if !out.Reached {
+			continue
+		}
+		delivered++
+		if out.PlanFallback {
+			fallback++
+		}
+		routed := 0.0
+		for j := 1; j < len(out.Path); j++ {
+			routed += nw.G.Point(out.Path[j-1]).Dist(nw.G.Point(out.Path[j]))
+		}
+		if _, opt, ok := nw.LDel.ShortestPath(s, d); ok && opt > 0 {
+			if st := routed / opt; st > maxStretch {
+				maxStretch = st
+			}
+		}
+	}
+	return delivered / float64(trials), fallback / float64(trials), maxStretch
+}
+
+// TestAbstractionConformanceCore runs the shared delivery contract over both
+// backends on every scenario family: all sampled queries deliver, and the
+// bbox backend's delivery is never below the hull backend's.
+func TestAbstractionConformanceCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance scenarios are not short")
+	}
+	for family, obstacles := range abstractionScenarios(t) {
+		family, obstacles := family, obstacles
+		t.Run(family, func(t *testing.T) {
+			rates := map[string]float64{}
+			for _, backend := range []string{"hull", "bbox"} {
+				nw := preprocessAbstraction(t, obstacles, backend)
+				if nw.Report.Abstraction != backend {
+					t.Fatalf("Report.Abstraction = %q, want %q", nw.Report.Abstraction, backend)
+				}
+				if nw.Abs.Name() != backend {
+					t.Fatalf("backend %q not installed", backend)
+				}
+				delivered, _, maxStretch := deliveryRate(t, nw, 60)
+				if delivered < 1 {
+					t.Fatalf("%s/%s: delivery %.2f, want 1.0", family, backend, delivered)
+				}
+				if maxStretch > 40 {
+					t.Fatalf("%s/%s: max stretch %.1f implausibly large", family, backend, maxStretch)
+				}
+				rates[backend] = delivered
+				// Groups must mirror the abstraction's regions exactly.
+				if len(nw.Groups) != len(nw.Abs.Regions()) {
+					t.Fatalf("%s/%s: %d groups vs %d regions", family, backend, len(nw.Groups), len(nw.Abs.Regions()))
+				}
+				if nw.Report.StorageHull < 0 || nw.Report.StorageBoundary < 0 {
+					t.Fatalf("%s/%s: negative storage", family, backend)
+				}
+			}
+			if rates["bbox"] < rates["hull"] {
+				t.Fatalf("%s: bbox delivery %.2f below hull %.2f", family, rates["bbox"], rates["hull"])
+			}
+		})
+	}
+}
+
+// TestIntersectingFamiliesReportHullViolation pins the acceptance criterion:
+// on the intersecting and nested families the hull backend must report the
+// broken disjointness assumption, while bbox condenses the holes into
+// disjoint box regions.
+func TestIntersectingFamiliesReportHullViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance scenarios are not short")
+	}
+	scenarios := abstractionScenarios(t)
+	for _, family := range []string{"intersecting", "nested"} {
+		hull := preprocessAbstraction(t, scenarios[family], "hull")
+		if !hull.Report.HullsIntersect {
+			t.Fatalf("%s: hull backend must report HullsIntersect", family)
+		}
+		bbox := preprocessAbstraction(t, scenarios[family], "bbox")
+		if len(bbox.Groups) >= len(bbox.Holes.Holes) && len(bbox.Holes.Holes) > 1 {
+			t.Fatalf("%s: bbox must merge overlapping boxes (%d groups for %d holes)",
+				family, len(bbox.Groups), len(bbox.Holes.Holes))
+		}
+	}
+}
+
+// TestEngineCacheKeyedByAbstraction pins that two engines over differently-
+// abstracted networks of the same deployment agree with their own uncached
+// network, not with each other.
+func TestEngineCacheKeyedByAbstraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance scenarios are not short")
+	}
+	obstacles := abstractionScenarios(t)["intersecting"]
+	for _, backend := range []string{"hull", "bbox"} {
+		nw := preprocessAbstraction(t, obstacles, backend)
+		e := NewEngine(nw, EngineConfig{Workers: 2})
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 40; i++ {
+			s := sim.NodeID(rng.Intn(nw.G.N()))
+			d := sim.NodeID(rng.Intn(nw.G.N()))
+			want := nw.Route(s, d)
+			got := e.Route(s, d)
+			if got.Reached != want.Reached || len(got.Path) != len(want.Path) {
+				t.Fatalf("%s: engine outcome differs from network for %d->%d", backend, s, d)
+			}
+		}
+	}
+}
+
+// TestUnknownAbstractionRejected pins the config validation.
+func TestUnknownAbstractionRejected(t *testing.T) {
+	sc, err := workload.JitteredGrid(0.6, 4, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preprocess(sc.Build(), Config{Seed: 1, Abstraction: "octagon"}); err == nil {
+		t.Fatal("unknown abstraction backend must be rejected")
+	}
+}

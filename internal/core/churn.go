@@ -28,6 +28,7 @@ package core
 import (
 	"sync"
 
+	"hybridroute/internal/abstraction"
 	"hybridroute/internal/delaunay"
 	"hybridroute/internal/geom"
 	"hybridroute/internal/routing"
@@ -51,6 +52,7 @@ type baseTopo struct {
 	ldel            *delaunay.PlanarGraph
 	holes           *delaunay.HoleSet
 	router          *routing.Router
+	abs             abstraction.Abstraction
 	overlay         *vis.Overlay
 	visDomain       *vis.Domain
 	groups          []HullGroup
@@ -69,6 +71,7 @@ func (nw *Network) enableChurnRepair() {
 		ldel:            nw.LDel,
 		holes:           nw.Holes,
 		router:          nw.Router,
+		abs:             nw.Abs,
 		overlay:         nw.Overlay,
 		visDomain:       nw.VisDomain,
 		groups:          nw.Groups,
@@ -113,7 +116,7 @@ func (nw *Network) repairTopology(v sim.NodeID, up bool) {
 	if len(nw.dead) == 0 {
 		b := nw.base
 		nw.LDel, nw.Holes, nw.Router = b.ldel, b.holes, b.router
-		nw.Overlay, nw.VisDomain = b.overlay, b.visDomain
+		nw.Abs, nw.Overlay, nw.VisDomain = b.abs, b.overlay, b.visDomain
 		nw.Groups, nw.Bays = b.groups, b.bays
 		nw.hullNodeOf = b.hullNodeOf
 		nw.groupDomains, nw.groupDomainInit = b.groupDomains, b.groupDomainInit
@@ -171,20 +174,19 @@ func (nw *Network) repairTopology(v sim.NodeID, up bool) {
 }
 
 // rebuildDerived reconstructs every query-path structure downstream of
-// (LDel, Holes): hull groups, overlay Delaunay graph, visibility domains,
+// (LDel, Holes): the hole abstraction (same backend the network was
+// preprocessed with), its group and overlay views, visibility domains,
 // hull-node index and bay areas. Mirrors the tail of preprocess.
 func (nw *Network) rebuildDerived() {
-	nw.Groups = nil
-	nw.buildGroups()
-	var groupHulls [][]geom.Point
-	for _, grp := range nw.Groups {
-		groupHulls = append(groupHulls, grp.Hull)
+	// The backend name was validated at preprocessing time, so rebuilding
+	// with it cannot fail.
+	if err := nw.buildAbstraction(nw.Report.Abstraction); err != nil {
+		panic("core: rebuildDerived: " + err.Error())
 	}
 	var boundaries [][]geom.Point
 	for _, h := range nw.Holes.Holes {
 		boundaries = append(boundaries, h.Polygon)
 	}
-	nw.Overlay = vis.NewOverlay(groupHulls)
 	nw.VisDomain = vis.NewDomain(boundaries)
 	nw.hullNodeOf = make(map[geom.Point]sim.NodeID)
 	for _, h := range nw.Holes.Holes {

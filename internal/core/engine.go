@@ -193,9 +193,13 @@ const (
 // (crash or recovery) advances it, so every fragment planned over the old
 // topology dies with the change instead of misrouting traffic into a dead
 // node — same invalidation-by-unaddressability scheme, same zero cost while
-// the membership is static.
+// the membership is static. abs is the hole abstraction backend ID: plan
+// fragments computed under one abstraction are never served to another
+// (a repair can swap the Abstraction instance, and engines may share a
+// Network whose backend differs from what a stale key assumed).
 type planKey struct {
 	kind int8
+	abs  uint8
 	gi   int32
 	a, b sim.NodeID
 	x, y float64
@@ -214,6 +218,9 @@ func (e *Engine) linkGen() uint64 {
 // topoGen is the current topology-repair generation to stamp into plan keys.
 func (e *Engine) topoGen() uint64 { return e.nw.TopoGeneration() }
 
+// absID is the hole abstraction backend identifier to stamp into plan keys.
+func (e *Engine) absID() uint8 { return e.nw.Abs.ID() }
+
 // planValue is a cached plan fragment. Failures (ok=false) are cached too:
 // a pair that falls back once will fall back every time.
 type planValue struct {
@@ -223,7 +230,7 @@ type planValue struct {
 }
 
 func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
-	k := planKey{kind: kindGroupPath, gi: int32(gi), a: s, b: t, gen: e.linkGen(), topo: e.topoGen()}
+	k := planKey{kind: kindGroupPath, abs: e.absID(), gi: int32(gi), a: s, b: t, gen: e.linkGen(), topo: e.topoGen()}
 	if v, hit := e.lookup(k); hit {
 		return copyIDs(v.wps), v.ok
 	}
@@ -233,7 +240,7 @@ func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
 }
 
 func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID, sim.NodeID, bool) {
-	k := planKey{kind: kindExitPlan, gi: int32(gi), a: v, x: toward.X, y: toward.Y, gen: e.linkGen(), topo: e.topoGen()}
+	k := planKey{kind: kindExitPlan, abs: e.absID(), gi: int32(gi), a: v, x: toward.X, y: toward.Y, gen: e.linkGen(), topo: e.topoGen()}
 	if c, hit := e.lookup(k); hit {
 		return copyIDs(c.wps), c.exit, c.ok
 	}
@@ -243,7 +250,7 @@ func (e *Engine) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.NodeID
 }
 
 func (e *Engine) overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool) {
-	k := planKey{kind: kindOverlay, a: a, b: b, gen: e.linkGen(), topo: e.topoGen()}
+	k := planKey{kind: kindOverlay, abs: e.absID(), a: a, b: b, gen: e.linkGen(), topo: e.topoGen()}
 	if v, hit := e.lookup(k); hit {
 		return copyIDs(v.wps), v.ok
 	}
@@ -294,6 +301,7 @@ func shardOf(k planKey, shards int) int {
 		h *= 1099511628211
 	}
 	mix(uint64(k.kind))
+	mix(uint64(k.abs))
 	mix(uint64(uint32(k.gi)))
 	mix(uint64(k.a))
 	mix(uint64(k.b))

@@ -70,10 +70,34 @@ func TestGroupsMergeIntersectingHulls(t *testing.T) {
 	if multi == 0 {
 		t.Fatal("expected at least one multi-hole group")
 	}
-	// Merged group hulls must be pairwise disjoint.
+	// Merged group hulls must be pairwise disjoint (no proper overlap).
+	properOverlap := func(a, b []geom.Point) bool {
+		if len(a) < 3 || len(b) < 3 {
+			return false
+		}
+		for i := range a {
+			s := geom.Seg(a[i], a[(i+1)%len(a)])
+			for j := range b {
+				if geom.SegmentsProperlyIntersect(s, geom.Seg(b[j], b[(j+1)%len(b)])) {
+					return true
+				}
+			}
+		}
+		for _, p := range a {
+			if geom.PointStrictlyInConvex(p, b) {
+				return true
+			}
+		}
+		for _, p := range b {
+			if geom.PointStrictlyInConvex(p, a) {
+				return true
+			}
+		}
+		return false
+	}
 	for i := 0; i < len(nw.Groups); i++ {
 		for j := i + 1; j < len(nw.Groups); j++ {
-			if hullsOverlapPolys(nw.Groups[i].Hull, nw.Groups[j].Hull) {
+			if properOverlap(nw.Groups[i].Hull, nw.Groups[j].Hull) {
 				t.Fatalf("merged hulls %d and %d still intersect", i, j)
 			}
 		}

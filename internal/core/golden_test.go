@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/workload"
+)
+
+// goldenHullDigest pins the hull backend's routing output to the exact
+// behavior of the pre-abstraction implementation: the digest below was
+// computed on the seed tree before the HoleAbstraction refactor, and the
+// default (hull) backend must keep reproducing it byte for byte.
+const goldenHullDigest = "ca5a5a3feb8bb502"
+
+// goldenScenario is a fixed deployment with two separated holes (a star, so
+// bay areas exist, and a polygon) — it exercises cases 1–5 plus overlay
+// waypoint planning between holes.
+func goldenScenario(t testing.TB) *Network {
+	t.Helper()
+	obstacles := [][]geom.Point{
+		workload.StarPolygon(geom.Pt(3, 3.2), 1.6, 0.7, 5, 0.3),
+		workload.RegularPolygon(geom.Pt(7.4, 6.8), 1.3, 6, 0.2),
+	}
+	sc, err := workload.JitteredGrid(0.55, 10, 10, 1, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Preprocess(sc.Build(), Config{Strict: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// routeDigest hashes every observable field of a deterministic batch of
+// routing outcomes: case, path, waypoints and flags.
+func routeDigest(nw *Network) string {
+	h := fnv.New64a()
+	mix := func(xs ...int) {
+		var buf [8]byte
+		for _, x := range xs {
+			for i := range buf {
+				buf[i] = byte(x >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	n := nw.G.N()
+	step := n/40 + 1
+	for s := 0; s < n; s += step {
+		for t := 0; t < n; t += step {
+			out := nw.Route(sim.NodeID(s), sim.NodeID(t))
+			flags := 0
+			if out.Reached {
+				flags |= 1
+			}
+			if out.Fallback {
+				flags |= 2
+			}
+			if out.PlanFallback {
+				flags |= 4
+			}
+			if out.HoleHit {
+				flags |= 8
+			}
+			mix(s, t, out.Case, flags, len(out.Path), len(out.Waypoints))
+			for _, v := range out.Path {
+				mix(int(v))
+			}
+			for _, v := range out.Waypoints {
+				mix(int(v))
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestHullBackendByteIdentical pins the default backend's routing output to
+// the pre-refactor seed output.
+func TestHullBackendByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden digest scenario is not short")
+	}
+	nw := goldenScenario(t)
+	got := routeDigest(nw)
+	if got != goldenHullDigest {
+		t.Fatalf("hull backend routing output drifted from the pre-refactor seed: digest %s, want %s", got, goldenHullDigest)
+	}
+}

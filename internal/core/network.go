@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hybridroute/internal/abstraction"
 	"hybridroute/internal/delaunay"
 	"hybridroute/internal/geom"
 	"hybridroute/internal/hyper"
@@ -45,6 +46,10 @@ type Config struct {
 	Seed uint64
 	// SkipDomSets skips phase L (useful for benchmarks of earlier phases).
 	SkipDomSets bool
+	// Abstraction selects the hole abstraction backend: "hull" (default,
+	// the paper's convex-hull abstraction) or "bbox" (the bounding-box
+	// overlay, which stays competitive when hole hulls intersect or nest).
+	Abstraction string
 	// Incremental (only meaningful for Recompute) reuses ring protocol
 	// results and hull announcements for holes whose boundary ring —
 	// membership and positions — is unchanged since the previous epoch:
@@ -80,6 +85,8 @@ type Report struct {
 	NumBoundaryNodes int
 	TreeHeight       int
 	HullsIntersect   bool
+	// Abstraction is the hole abstraction backend the network was built with.
+	Abstraction string
 	// RingsReused counts rings whose protocol results were carried over by
 	// incremental recomputation (0 for a full run).
 	RingsReused int
@@ -96,15 +103,15 @@ type Bay struct {
 	Polygon  []geom.Point // region polygon: hull chord + boundary path
 }
 
-// HullGroup is a maximal set of holes whose convex hulls mutually intersect,
-// merged into one joint obstacle hull. The paper assumes hulls never
-// intersect (Section 4); this implements the extension its future-work
-// section calls for: when they do, the group's merged hull is used as the
-// abstraction, which restores the disjointness the routing analysis needs at
-// the cost of a coarser obstacle.
+// HullGroup is a maximal set of holes whose abstracted shapes mutually
+// intersect, merged into one joint obstacle region — the convex hull of the
+// member hulls under the hull backend, the merged bounding box under the
+// bbox backend. The paper assumes hulls never intersect (Section 4); merging
+// restores the disjointness the routing analysis needs at the cost of a
+// coarser obstacle. Groups mirror the abstraction's Regions one to one.
 type HullGroup struct {
 	Holes []int        // indices into Holes.Holes
-	Hull  []geom.Point // convex hull of the union of member hulls (CCW)
+	Hull  []geom.Point // merged convex region polygon (CCW)
 }
 
 // Network is a preprocessed hybrid network ready to answer routing queries.
@@ -116,9 +123,15 @@ type Network struct {
 	Sim    *sim.Sim
 	Tree   *overlaytree.Tree
 
-	// Overlay is the Overlay Delaunay Graph of all hull corners (what every
-	// hull node stores after phase K); VisDomain is the Section-3 variant
-	// over full hole boundary polygons.
+	// Abs is the pluggable hole abstraction (hull groups + waypoint overlay
+	// under the default backend, merged bounding boxes under "bbox"); Groups
+	// and Overlay are its region and overlay views, kept as fields because
+	// the whole query path reads them.
+	Abs abstraction.Abstraction
+
+	// Overlay is the waypoint overlay of the abstraction's region corners
+	// (what every hull node stores after phase K); VisDomain is the
+	// Section-3 variant over full hole boundary polygons.
 	Overlay   *vis.Overlay
 	VisDomain *vis.Domain
 
@@ -181,82 +194,22 @@ func (nw *Network) nodeAt(p geom.Point) (sim.NodeID, bool) {
 	return v, ok
 }
 
-// buildGroups partitions holes into maximal groups of mutually intersecting
-// hulls (union-find) and computes each group's merged hull.
-func (nw *Network) buildGroups() {
-	holes := nw.Holes.Holes
-	parent := make([]int, len(holes))
-	for i := range parent {
-		parent[i] = i
+// buildAbstraction constructs the configured hole abstraction backend over
+// the current hole set and projects its regions into the Groups and Overlay
+// views the query path reads.
+func (nw *Network) buildAbstraction(name string) error {
+	abs, err := abstraction.New(name, nw.Holes)
+	if err != nil {
+		return err
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
+	nw.Abs = abs
+	nw.Groups = nil
+	for _, r := range abs.Regions() {
+		nw.Groups = append(nw.Groups, HullGroup{Holes: r.Holes, Hull: r.Poly})
 	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-	for i := 0; i < len(holes); i++ {
-		for j := i + 1; j < len(holes); j++ {
-			if hullsOverlapPolys(holes[i].Hull, holes[j].Hull) {
-				union(i, j)
-			}
-		}
-	}
-	members := map[int][]int{}
-	for i := range holes {
-		r := find(i)
-		members[r] = append(members[r], i)
-	}
-	// Deterministic group order: by smallest member index.
-	var roots []int
-	for r := range members {
-		roots = append(roots, r)
-	}
-	for i := 0; i < len(roots); i++ { // insertion sort by min member
-		for j := i; j > 0 && members[roots[j]][0] < members[roots[j-1]][0]; j-- {
-			roots[j], roots[j-1] = roots[j-1], roots[j]
-		}
-	}
-	for _, r := range roots {
-		var pts []geom.Point
-		for _, hi := range members[r] {
-			pts = append(pts, holes[hi].Hull...)
-		}
-		nw.Groups = append(nw.Groups, HullGroup{
-			Holes: members[r],
-			Hull:  geom.ConvexHull(pts),
-		})
-	}
-}
-
-// hullsOverlapPolys reports whether two convex polygons intersect (edge
-// crossing or containment).
-func hullsOverlapPolys(a, b []geom.Point) bool {
-	if len(a) < 3 || len(b) < 3 {
-		return false
-	}
-	for i := range a {
-		s := geom.Seg(a[i], a[(i+1)%len(a)])
-		for j := range b {
-			if geom.SegmentsProperlyIntersect(s, geom.Seg(b[j], b[(j+1)%len(b)])) {
-				return true
-			}
-		}
-	}
-	for _, p := range a {
-		if geom.PointStrictlyInConvex(p, b) {
-			return true
-		}
-	}
-	for _, p := range b {
-		if geom.PointStrictlyInConvex(p, a) {
-			return true
-		}
-	}
-	return false
+	nw.Overlay = abs.Overlay()
+	nw.Report.Abstraction = abs.Name()
+	return nil
 }
 
 // groupDomain returns (building lazily, exactly once, race-free) the
@@ -298,6 +251,11 @@ func Preprocess(g *udg.Graph, cfg Config) (*Network, error) {
 func (nw *Network) Recompute(g *udg.Graph, cfg Config) (*Network, error) {
 	if g.N() != nw.G.N() {
 		return nil, fmt.Errorf("core: Recompute requires the same node set (got %d, had %d)", g.N(), nw.G.N())
+	}
+	if cfg.Abstraction == "" {
+		// Keep the backend the network was preprocessed with unless the
+		// caller explicitly switches.
+		cfg.Abstraction = nw.Report.Abstraction
 	}
 	return preprocess(g, cfg, nw.Tree, nw)
 }
@@ -369,19 +327,17 @@ func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network)
 		return nil, fmt.Errorf("core: hull distribution: %w", err)
 	}
 
-	// Merge intersecting hulls into groups (future-work extension; groups
-	// are singletons whenever the paper's disjointness assumption holds),
-	// then build the routing structures every hull node now possesses.
-	nw.buildGroups()
-	var groupHulls [][]geom.Point
-	for _, grp := range nw.Groups {
-		groupHulls = append(groupHulls, grp.Hull)
+	// Build the configured hole abstraction (merging intersecting abstracted
+	// shapes into disjoint regions — singletons whenever the paper's
+	// disjointness assumption holds) and the routing structures every hull
+	// node now possesses.
+	if err := nw.buildAbstraction(cfg.Abstraction); err != nil {
+		return nil, err
 	}
 	var boundaries [][]geom.Point
 	for _, h := range nw.Holes.Holes {
 		boundaries = append(boundaries, h.Polygon)
 	}
-	nw.Overlay = vis.NewOverlay(groupHulls)
 	nw.VisDomain = vis.NewDomain(boundaries)
 	nw.hullNodeOf = make(map[geom.Point]sim.NodeID)
 	for _, h := range nw.Holes.Holes {

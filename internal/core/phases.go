@@ -296,16 +296,19 @@ func (nw *Network) runDomSetPhase(seed uint64) error {
 }
 
 // accountStorage computes per-node persistent storage in words and the
-// per-class maxima of Theorem 1.2:
-//   - hull nodes store the Overlay Delaunay Graph of all hull corners,
-//   - boundary nodes store their hole's hull plus ring-protocol pointers,
+// per-class maxima of Theorem 1.2, generalized over the hole abstraction:
+//   - hull nodes store the waypoint overlay of all region corners plus every
+//     hole's abstracted shape (3 words per hull node under the hull backend,
+//     O(1) words per hole under bbox),
+//   - boundary nodes store their own hole's abstracted shape plus
+//     ring-protocol pointers,
 //   - all other nodes store O(1): tree parent/children and UDG neighbours.
 func (nw *Network) accountStorage() {
 	totalHullWords := 0
-	for _, h := range nw.Holes.Holes {
-		totalHullWords += 3 * len(h.HullNodes)
+	for hi := range nw.Holes.Holes {
+		totalHullWords += nw.Abs.HoleWords(hi)
 	}
-	overlayWords := 2 * nw.Overlay.EdgeCount()
+	overlayWords := 2 * nw.Abs.EdgeCount()
 
 	isBoundary := map[sim.NodeID]bool{}
 	holeOf := map[sim.NodeID][]int{}
@@ -327,10 +330,11 @@ func (nw *Network) accountStorage() {
 		base := 2 + len(nw.Tree.Children[id]) + 1 // position, parent, children
 		words := base
 		if isBoundary[id] {
-			// Ring pointers (O(log k)) + own hole hulls + DS membership.
+			// Ring pointers (O(log k)) + own holes' abstracted shapes + DS
+			// membership.
 			for _, hi := range holeOf[id] {
 				h := nw.Holes.Holes[hi]
-				words += 3*len(h.HullNodes) + 2*ceilLog2(len(h.Ring)) + 1
+				words += nw.Abs.HoleWords(hi) + 2*ceilLog2(len(h.Ring)) + 1
 			}
 		}
 		if isHull[id] {

@@ -370,7 +370,7 @@ func (nw *Network) exitPlan(gi int, v sim.NodeID, toward geom.Point) ([]sim.Node
 	var best []sim.NodeID
 	var bestExit sim.NodeID = -1
 	for _, ci := range order[:tries] {
-		x, ok := nw.nodeAt(corners[ci])
+		x, ok := nw.waypointNode(corners[ci])
 		if !ok {
 			continue
 		}
@@ -411,25 +411,38 @@ func (nw *Network) groupPathNodesTo(gi int, from, to sim.NodeID) ([]sim.NodeID, 
 	return nw.pointsToNodes(from, to, pts)
 }
 
-// overlayWaypoints maps an Overlay Delaunay Graph shortest path between two
-// nodes to the hull-node waypoint sequence.
+// overlayWaypoints maps an abstraction waypoint path between two nodes to
+// the hull-node waypoint sequence (Overlay Delaunay Graph shortest paths
+// under the hull backend, box-corner overlay paths under bbox).
 func (nw *Network) overlayWaypoints(a, b sim.NodeID) ([]sim.NodeID, bool) {
-	pts, _, ok := nw.Overlay.ShortestPath(nw.G.Point(a), nw.G.Point(b))
+	pts, _, ok := nw.Abs.Waypoints(nw.G.Point(a), nw.G.Point(b))
 	if !ok {
 		return nil, false
 	}
 	return nw.pointsToNodes(a, b, pts)
 }
 
+// waypointNode resolves a plan waypoint position to the node that realizes
+// it: the node at that exact position when one exists (hull corners are node
+// positions), otherwise the abstraction's stand-in node for a synthetic
+// corner (the nearest boundary node of a bounding-box corner).
+func (nw *Network) waypointNode(p geom.Point) (sim.NodeID, bool) {
+	if v, ok := nw.nodeAtPt[p]; ok {
+		return v, true
+	}
+	return nw.Abs.CornerNode(p)
+}
+
 // pointsToNodes converts a geometric waypoint path (endpoints are the given
-// nodes, interior points are node positions) into node IDs. Degenerate paths
-// with fewer than two points (coincident endpoints, grazing geometry) carry
-// no interior waypoints and yield the trivial from→to plan.
+// nodes, interior points are node positions or region corners) into node
+// IDs. Degenerate paths with fewer than two points (coincident endpoints,
+// grazing geometry) carry no interior waypoints and yield the trivial
+// from→to plan.
 func (nw *Network) pointsToNodes(from, to sim.NodeID, pts []geom.Point) ([]sim.NodeID, bool) {
 	wps := []sim.NodeID{from}
 	if len(pts) >= 2 {
 		for _, p := range pts[1 : len(pts)-1] {
-			v, ok := nw.nodeAt(p)
+			v, ok := nw.waypointNode(p)
 			if !ok {
 				return nil, false
 			}

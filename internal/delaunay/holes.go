@@ -23,9 +23,12 @@ type Hole struct {
 // Perimeter returns the boundary length P(h) of the hole (Theorem 1.2).
 func (h *Hole) Perimeter() float64 { return geom.PolygonPerimeter(h.Polygon) }
 
-// HullCircumference returns the circumference L(c) of the minimum bounding
+// HullCircumference returns the perimeter of the hole's convex hull.
+func (h *Hole) HullCircumference() float64 { return geom.PolygonPerimeter(h.Hull) }
+
+// BBoxCircumference returns the circumference L(c) of the minimum bounding
 // box of the hole's convex hull (Theorem 1.2).
-func (h *Hole) HullCircumference() float64 { return h.BBox.Circumference() }
+func (h *Hole) BBoxCircumference() float64 { return h.BBox.Circumference() }
 
 // ContainsInHull reports whether p lies inside or on the hole's convex hull.
 func (h *Hole) ContainsInHull(p geom.Point) bool {
@@ -91,7 +94,7 @@ func (hs *HoleSet) BoundaryNodeSet() []udg.NodeID {
 func (hs *HoleSet) HullsIntersect() bool {
 	for i := 0; i < len(hs.Holes); i++ {
 		for j := i + 1; j < len(hs.Holes); j++ {
-			if hullsOverlap(hs.Holes[i].Hull, hs.Holes[j].Hull) {
+			if HullsOverlap(hs.Holes[i].Hull, hs.Holes[j].Hull) {
 				return true
 			}
 		}
@@ -99,26 +102,38 @@ func (hs *HoleSet) HullsIntersect() bool {
 	return false
 }
 
-func hullsOverlap(a, b []geom.Point) bool {
-	for i := range a {
-		s := geom.Seg(a[i], a[(i+1)%len(a)])
-		for j := range b {
-			if geom.SegmentsProperlyIntersect(s, geom.Seg(b[j], b[(j+1)%len(b)])) {
+// HullsOverlap reports whether two convex hulls share at least one point.
+// All forms of contact count: proper edge crossings, shared vertices,
+// vertex-on-edge contact, collinear shared edges, identical hulls and full
+// containment — and degenerate hulls of one or two points are handled. This
+// is the boundary-inclusive test HullsIntersect needs: the disjointness
+// assumption of Section 4.1 is already violated when hulls merely touch.
+func HullsOverlap(a, b []geom.Point) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for _, s := range hullEdges(a) {
+		for _, t := range hullEdges(b) {
+			if geom.SegmentsIntersect(s, t) {
 				return true
 			}
 		}
 	}
-	for _, p := range a {
-		if geom.PointStrictlyInConvex(p, b) {
-			return true
-		}
+	// No boundary contact: overlap remains possible only by containment.
+	return geom.PointInConvex(a[0], b) || geom.PointInConvex(b[0], a)
+}
+
+// hullEdges returns the closed boundary edges of a hull; a single point
+// yields one zero-length segment so contact tests stay uniform.
+func hullEdges(h []geom.Point) []geom.Segment {
+	if len(h) == 1 {
+		return []geom.Segment{geom.Seg(h[0], h[0])}
 	}
-	for _, p := range b {
-		if geom.PointStrictlyInConvex(p, a) {
-			return true
-		}
+	out := make([]geom.Segment, 0, len(h))
+	for i := range h {
+		out = append(out, geom.Seg(h[i], h[(i+1)%len(h)]))
 	}
-	return false
+	return out
 }
 
 // DetectHoles lives in patch.go alongside DetectHolesLive (the two share one

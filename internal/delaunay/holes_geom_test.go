@@ -1,0 +1,86 @@
+package delaunay
+
+import (
+	"testing"
+
+	"hybridroute/internal/geom"
+)
+
+func sq(x, y, side float64) []geom.Point {
+	return []geom.Point{
+		geom.Pt(x, y), geom.Pt(x+side, y), geom.Pt(x+side, y+side), geom.Pt(x, y+side),
+	}
+}
+
+// TestHullsOverlapTable exercises the boundary-inclusive overlap test on the
+// degenerate configurations the old proper-intersection test missed.
+func TestHullsOverlapTable(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []geom.Point
+		want bool
+	}{
+		{"disjoint", sq(0, 0, 1), sq(3, 3, 1), false},
+		{"proper crossing", sq(0, 0, 2), sq(1, 1, 2), true},
+		{"identical", sq(0, 0, 1), sq(0, 0, 1), true},
+		{"shared edge", sq(0, 0, 1), sq(1, 0, 1), true},
+		{"shared vertex", sq(0, 0, 1), sq(1, 1, 1), true},
+		{"vertex on edge", sq(0, 0, 2), sq(2, 0.5, 1), true},
+		{"nested", sq(0, 0, 4), sq(1, 1, 1), true},
+		{"segment hull crossing", sq(0, 0, 2), []geom.Point{geom.Pt(-1, 1), geom.Pt(3, 1)}, true},
+		{"segment hull touching endpoint", sq(0, 0, 2), []geom.Point{geom.Pt(2, 1), geom.Pt(4, 1)}, true},
+		{"segment hull disjoint", sq(0, 0, 2), []geom.Point{geom.Pt(3, 1), geom.Pt(4, 1)}, false},
+		{"point inside hull", sq(0, 0, 2), []geom.Point{geom.Pt(1, 1)}, true},
+		{"point on hull boundary", sq(0, 0, 2), []geom.Point{geom.Pt(2, 1)}, true},
+		{"point outside hull", sq(0, 0, 2), []geom.Point{geom.Pt(5, 5)}, false},
+		{"two points", []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, []geom.Point{geom.Pt(0.5, 0)}, true},
+		{"empty", nil, sq(0, 0, 1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HullsOverlap(tc.a, tc.b); got != tc.want {
+				t.Fatalf("HullsOverlap = %v, want %v", got, tc.want)
+			}
+			if got := HullsOverlap(tc.b, tc.a); got != tc.want {
+				t.Fatalf("HullsOverlap (swapped) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHullsIntersectTouching pins that HullsIntersect now reports hulls in
+// boundary contact (the violation the old test under-reported).
+func TestHullsIntersectTouching(t *testing.T) {
+	mk := func(poly []geom.Point) *Hole {
+		return &Hole{Polygon: poly, Hull: geom.ConvexHull(poly), BBox: geom.BoundingBox(poly)}
+	}
+	hs := &HoleSet{Holes: []*Hole{mk(sq(0, 0, 1)), mk(sq(1, 0, 1))}}
+	if !hs.HullsIntersect() {
+		t.Fatal("hulls sharing an edge must be reported as intersecting")
+	}
+	hs = &HoleSet{Holes: []*Hole{mk(sq(0, 0, 1)), mk(sq(5, 5, 1))}}
+	if hs.HullsIntersect() {
+		t.Fatal("disjoint hulls must not be reported as intersecting")
+	}
+}
+
+// TestHullCircumferenceIsHullPerimeter pins the HullCircumference bugfix: it
+// must equal the hull perimeter, with the bounding-box circumference exposed
+// separately (and never smaller, by convexity).
+func TestHullCircumferenceIsHullPerimeter(t *testing.T) {
+	poly := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(3, -1), geom.Pt(4, 2), geom.Pt(2, 4), geom.Pt(-1, 2),
+	}
+	h := &Hole{Polygon: poly, Hull: geom.ConvexHull(poly), BBox: geom.BoundingBox(geom.ConvexHull(poly))}
+	want := geom.PolygonPerimeter(h.Hull)
+	if got := h.HullCircumference(); got != want {
+		t.Fatalf("HullCircumference = %v, want hull perimeter %v", got, want)
+	}
+	if h.BBoxCircumference() != h.BBox.Circumference() {
+		t.Fatal("BBoxCircumference must be the bounding-box circumference")
+	}
+	if h.HullCircumference() > h.BBoxCircumference()+1e-9 {
+		t.Fatalf("hull perimeter %v must not exceed bounding-box circumference %v",
+			h.HullCircumference(), h.BBoxCircumference())
+	}
+}

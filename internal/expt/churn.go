@@ -34,7 +34,7 @@ type e19Outcome struct {
 // entirely) and the full tracer on, via TraceBatch so every query of the
 // batch is traced — not just a sample.
 func e19Run(opt Options, n int, pairs [][2]sim.NodeID, schedule sim.ChurnSchedule) (*e19Outcome, error) {
-	nw, _, err := preprocessScenario(opt.seed(), n)
+	nw, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +167,7 @@ func E19(opt Options) (*Result, error) {
 	// Learn the node count, then draw the query set all rows share. Every
 	// endpoint is protected from the churn schedule so each row answers the
 	// same deliverable pairs.
-	nw0, _, err := preprocessScenario(opt.seed(), n)
+	nw0, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}

@@ -25,7 +25,7 @@ func E14(opt Options) (*Result, error) {
 	if opt.Quick {
 		n, queries = 350, 60
 	}
-	nw, _, err := preprocessScenario(opt.seed(), n)
+	nw, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}

@@ -46,7 +46,7 @@ func E15(opt Options) (*Result, error) {
 	if opt.Quick {
 		n, q = 300, 250
 	}
-	nw, _, err := preprocessScenario(opt.seed(), n)
+	nw, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,7 @@ func E1(opt Options) (*Result, error) {
 	res.Table = stats.NewTable("n", "rounds", "rounds/log²n", "ldel", "rings", "tree", "flood", "domset", "maxMsgs/node", "maxMsgs/log²n")
 	var ratios []float64
 	for _, n := range sizes {
-		nw, _, err := preprocessScenario(opt.seed(), n)
+		nw, _, err := preprocessScenario(opt, n)
 		if err != nil {
 			return nil, fmt.Errorf("E1 n=%d: %w", n, err)
 		}
@@ -64,7 +64,7 @@ func E2(opt Options) (*Result, error) {
 	if opt.Quick {
 		n, q = 350, 80
 	}
-	nw, _, err := preprocessScenario(opt.seed(), n)
+	nw, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +145,7 @@ func E3(opt Options) (*Result, error) {
 		}
 		sumL, maxP := 0.0, 0.0
 		for _, h := range nw.Holes.Holes {
-			sumL += h.HullCircumference()
+			sumL += h.BBoxCircumference()
 			if p := h.Perimeter(); p > maxP {
 				maxP = p
 			}
@@ -381,7 +381,7 @@ func E9(opt Options) (*Result, error) {
 			return nil, fmt.Errorf("E9: hole radius %.1f not detected", hr)
 		}
 		lch := geom.LocallyConvexHull(hole.Polygon, g.Radius())
-		L := hole.HullCircumference()
+		L := hole.BBoxCircumference()
 		res.Table.AddRow(fmt.Sprintf("%.1f", hr), len(hole.Ring), len(lch), len(hole.Hull), L, float64(len(hole.Hull))/L)
 		if len(hole.Hull) > len(lch) || len(lch) > len(hole.Ring) {
 			res.Pass = false
@@ -471,9 +471,10 @@ func E10(opt Options) (*Result, error) {
 // E11–E13 (paper §7 future work and the abstraction ablation), the batch
 // engine (E15), the fault-injection delivery sweep (E16), the loss-aware
 // planning comparison (E17), the traced-query observability demo (E18) and
-// the churn robustness sweep (E19).
+// the churn robustness sweep (E19) and the hole-abstraction backend
+// comparison (E20).
 func All(opt Options) ([]*Result, error) {
-	fns := []func(Options) (*Result, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19}
+	fns := []func(Options) (*Result, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20}
 	var out []*Result
 	for _, fn := range fns {
 		r, err := fn(opt)

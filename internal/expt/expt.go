@@ -51,6 +51,10 @@ type Options struct {
 	// to E19's churn sweep (it becomes the row the repair statistics and
 	// artifacts report on).
 	Churn int
+	// Abstraction selects the hole abstraction backend ("hull" or "bbox")
+	// for every experiment that preprocesses the standard scenario; empty
+	// means the default (hull). E20 always sweeps both backends regardless.
+	Abstraction string
 }
 
 func (o Options) seed() int64 {
@@ -72,13 +76,14 @@ func standardScenario(seed int64, n int) (*workload.Scenario, error) {
 	return workload.WithObstacles(seed, n, side, side, 1, obstacles)
 }
 
-// preprocessScenario builds and preprocesses a standard scenario.
-func preprocessScenario(seed int64, n int) (*core.Network, *workload.Scenario, error) {
-	sc, err := standardScenario(seed, n)
+// preprocessScenario builds and preprocesses a standard scenario under the
+// hole abstraction backend selected by opt.Abstraction (empty: hull).
+func preprocessScenario(opt Options, n int) (*core.Network, *workload.Scenario, error) {
+	sc, err := standardScenario(opt.seed(), n)
 	if err != nil {
 		return nil, nil, err
 	}
-	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: uint64(seed)})
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: uint64(opt.seed()), Abstraction: opt.Abstraction})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -20,7 +20,7 @@ type faultRow struct {
 // given fault configuration installed and returns the per-query transport
 // reports (nil entries mark failed queries).
 func e16Reports(opt Options, n int, pairs [][2]sim.NodeID, loss float64, crashed []sim.NodeID) ([]*core.TransportReport, error) {
-	nw, _, err := preprocessScenario(opt.seed(), n)
+	nw, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +57,7 @@ func E16(opt Options) (*Result, error) {
 
 	// One preprocessing pass just to learn the node count and draw the query
 	// set and crash set all sweep rows share.
-	nw0, _, err := preprocessScenario(opt.seed(), n)
+	nw0, _, err := preprocessScenario(opt, n)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sort"
+
 	"hybridroute/internal/geom"
 )
 
@@ -275,18 +277,10 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-func sortFloats(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+func sortFloats(xs []float64) { sort.Float64s(xs) }
 
+// sortByParam orders vertices by key, keeping the input order of equal keys
+// (corridor chains depend on that stability for determinism).
 func sortByParam(vs []NodeID, key func(NodeID) float64) {
-	for i := 1; i < len(vs); i++ {
-		for j := i; j > 0 && key(vs[j]) < key(vs[j-1]); j-- {
-			vs[j], vs[j-1] = vs[j-1], vs[j]
-		}
-	}
+	sort.SliceStable(vs, func(i, j int) bool { return key(vs[i]) < key(vs[j]) })
 }

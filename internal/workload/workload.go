@@ -284,6 +284,25 @@ func (m *Mobility) Step() *Scenario {
 	return m.sc
 }
 
+// HorseshoePolygon returns a rectilinear U-shape centred at c, opening
+// upward (CCW): an outer square of half-side rOut with a cavity of
+// half-width rIn cut depth units down from the top edge. Its convex hull is
+// the full outer square, so any obstacle placed inside the cavity has a hull
+// nested inside the horseshoe's hull — the configuration that violates the
+// paper's hull-disjointness assumption without the holes themselves touching.
+func HorseshoePolygon(c geom.Point, rOut, rIn, depth float64) []geom.Point {
+	return []geom.Point{
+		geom.Pt(c.X-rOut, c.Y-rOut),
+		geom.Pt(c.X+rOut, c.Y-rOut),
+		geom.Pt(c.X+rOut, c.Y+rOut),
+		geom.Pt(c.X+rIn, c.Y+rOut),
+		geom.Pt(c.X+rIn, c.Y+rOut-depth),
+		geom.Pt(c.X-rIn, c.Y+rOut-depth),
+		geom.Pt(c.X-rIn, c.Y+rOut),
+		geom.Pt(c.X-rOut, c.Y+rOut),
+	}
+}
+
 // StarPolygon returns a star-shaped polygon centred at c: spikes vertices
 // alternate between outer radius rOut and inner radius rIn (CCW). Stars are
 // the canonical non-convex holes: their convex hulls enclose real bay areas,
