@@ -1,6 +1,6 @@
 # Tier-1 verification (referenced from ROADMAP.md): vet + build + full test
 # suite + a race-detector pass over the packages with concurrent query paths.
-.PHONY: tier1 vet build test race bench ci
+.PHONY: tier1 vet build test race bench bench-scale ci
 
 tier1: vet build test race
 
@@ -17,14 +17,23 @@ test:
 # Network, the simulator's fault injection must stay deterministic under
 # parallel stepping, the tracer takes concurrent emits from the worker
 # pool, churn repair patches the shared triangulation between engine
-# batches, and the hole abstraction backends are read concurrently by every
-# routing worker; keep all six packages race-clean.
+# batches, the hole abstraction backends are read concurrently by every
+# routing worker, and the mem arenas/mark sets back the router's pooled
+# corridor scratch; keep all seven packages race-clean.
 race:
-	go test -race ./internal/abstraction/... ./internal/core/... ./internal/delaunay/... ./internal/routing/... ./internal/sim/... ./internal/trace/...
+	go test -race ./internal/abstraction/... ./internal/core/... ./internal/delaunay/... ./internal/mem/... ./internal/routing/... ./internal/sim/... ./internal/trace/...
 
 # Benchmarks stream through cmd/benchjson, which passes the benchstat-friendly
-# text through unchanged and archives a JSON summary for CI artifacts.
+# text through unchanged and archives a JSON summary for CI artifacts. -merge
+# folds the new rows into an existing BENCH_results.json (first run: no-op),
+# so the scale series below and the quick series land in one document.
 bench:
-	go test -bench=. -benchmem -run '^$$' | go run ./cmd/benchjson -o BENCH_results.json
+	go test -bench=. -benchmem -run '^$$' | go run ./cmd/benchjson -merge -o BENCH_results.json
+
+# Scale benchmark series (n = 10^4, 10^5, 10^6): static build time, bytes per
+# node and warm/cold query throughput. -benchtime=1x — one build per size is
+# the measurement. The 10^6 leg needs ~8 GB RSS and several minutes.
+bench-scale:
+	HYBRIDROUTE_SCALE=1 go test -bench='BenchmarkScale' -benchmem -benchtime=1x -timeout 60m -run '^$$' | go run ./cmd/benchjson -merge -o BENCH_results.json
 
 ci: tier1 bench

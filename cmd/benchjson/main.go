@@ -14,24 +14,28 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// benchResult is one parsed benchmark line.
+// benchResult is one parsed benchmark line. Custom carries b.ReportMetric
+// units the standard schema has no field for (bytes/node, queries/sec, …).
 type benchResult struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 // benchFile is the JSON document: run environment plus every benchmark line,
@@ -59,6 +63,11 @@ func deriveRatios(doc *benchFile) {
 		ns[b.Name] = b.NsPerOp
 	}
 	derived := func(key string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A zero or missing baseline must never poison the document:
+			// json.Marshal rejects NaN/Inf outright.
+			return
+		}
 		if doc.Derived == nil {
 			doc.Derived = map[string]float64{}
 		}
@@ -117,9 +126,61 @@ func convert(r io.Reader, echo io.Writer, metricsJSON []byte) (benchFile, error)
 	return doc, nil
 }
 
+// mergePrior folds the benchmarks of a previous output document (typically
+// the -o target of an earlier run) under the current one: prior lines are
+// kept unless the current run re-measured the same benchmark, and the derived
+// ratios are recomputed over the merged set. A missing or empty prior file is
+// a first run and merges to nothing — it must never fail or taint the output.
+func mergePrior(doc *benchFile, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(bytes.TrimSpace(buf)) == 0 {
+		return nil
+	}
+	var prior benchFile
+	if err := json.Unmarshal(buf, &prior); err != nil {
+		return fmt.Errorf("prior results %s: %w", path, err)
+	}
+	fresh := make(map[string]bool, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		fresh[b.Name] = true
+	}
+	merged := make([]benchResult, 0, len(prior.Benchmarks)+len(doc.Benchmarks))
+	for _, b := range prior.Benchmarks {
+		if !fresh[b.Name] {
+			merged = append(merged, b)
+		}
+	}
+	doc.Benchmarks = append(merged, doc.Benchmarks...)
+	if doc.GoOS == "" {
+		doc.GoOS = prior.GoOS
+	}
+	if doc.GoArch == "" {
+		doc.GoArch = prior.GoArch
+	}
+	if doc.Pkg == "" {
+		doc.Pkg = prior.Pkg
+	}
+	if doc.CPU == "" {
+		doc.CPU = prior.CPU
+	}
+	if doc.Metrics == nil {
+		doc.Metrics = prior.Metrics
+	}
+	doc.Derived = nil
+	deriveRatios(doc)
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output JSON path")
 	metrics := flag.String("metrics", "", "trace-metrics JSON file to embed as the \"metrics\" block")
+	merge := flag.Bool("merge", false, "merge with the existing output file instead of replacing it (a missing or empty file is a first run)")
 	flag.Parse()
 
 	var metricsJSON []byte
@@ -132,6 +193,11 @@ func main() {
 	doc, err := convert(os.Stdin, os.Stdout, metricsJSON)
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
+	}
+	if *merge {
+		if err := mergePrior(&doc, *out); err != nil {
+			log.Fatalf("benchjson: merge: %v", err)
+		}
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
@@ -166,11 +232,17 @@ func parseBenchLine(line string) (benchResult, bool) {
 		return benchResult{}, false
 	}
 	r.Iterations = iter
-	// The remainder is (value, unit) pairs.
+	// The remainder is (value, unit) pairs. Unknown units come from
+	// b.ReportMetric (bytes/node, queries/sec, …) and land in Custom.
+	// Non-finite values are dropped: json.Marshal rejects NaN/Inf, and a
+	// degenerate metric must not take the whole document down with it.
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			return benchResult{}, false
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
 		}
 		switch f[i+1] {
 		case "ns/op":
@@ -179,6 +251,11 @@ func parseBenchLine(line string) (benchResult, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Custom == nil {
+				r.Custom = map[string]float64{}
+			}
+			r.Custom[f[i+1]] = v
 		}
 	}
 	if r.NsPerOp == 0 {

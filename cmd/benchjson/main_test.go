@@ -134,3 +134,124 @@ func TestDeriveAbstractionOverhead(t *testing.T) {
 		t.Errorf("derived block must be omitted without the hull control: %v", doc.Derived)
 	}
 }
+
+// TestParseCustomMetrics pins that b.ReportMetric units land in the custom
+// block and that non-finite values are dropped instead of poisoning the
+// document (json.Marshal rejects NaN/Inf).
+func TestParseCustomMetrics(t *testing.T) {
+	in := "BenchmarkScaleBuild/n=1e5-8 1 2000000000 ns/op 152.4 bytes/node 91234 queries/sec NaN broken/unit +Inf also/broken\n"
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader([]byte(in)), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Custom["bytes/node"] != 152.4 || b.Custom["queries/sec"] != 91234 {
+		t.Errorf("custom metrics = %v", b.Custom)
+	}
+	if _, ok := b.Custom["broken/unit"]; ok {
+		t.Error("NaN metric must be dropped")
+	}
+	if _, ok := b.Custom["also/broken"]; ok {
+		t.Error("Inf metric must be dropped")
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatalf("document with custom metrics must marshal: %v", err)
+	}
+}
+
+// TestMergePriorFirstRun is the first-run golden: merging against a missing
+// or empty prior file must leave the document byte-identical to not merging
+// at all — no error, no NaN, no stray fields.
+func TestMergePriorFirstRun(t *testing.T) {
+	in := "goos: linux\nBenchmarkX-4 10 100 ns/op\n"
+	var echo bytes.Buffer
+	fresh, err := convert(bytes.NewReader([]byte(in)), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(fresh, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for name, setup := range map[string]func(string) error{
+		"missing": func(string) error { return nil },
+		"empty":   func(p string) error { return os.WriteFile(p, nil, 0o644) },
+		"blank":   func(p string) error { return os.WriteFile(p, []byte(" \n\t\n"), 0o644) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			prior := filepath.Join(dir, name+".json")
+			if err := setup(prior); err != nil {
+				t.Fatal(err)
+			}
+			doc := fresh
+			if err := mergePrior(&doc, prior); err != nil {
+				t.Fatalf("first-run merge must not fail: %v", err)
+			}
+			got, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("first-run merge changed the document:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestMergePriorKeepsAndOverrides pins the merge semantics: prior lines
+// survive unless re-measured, re-measured lines take the fresh value, and
+// derived ratios are recomputed over the merged set.
+func TestMergePriorKeepsAndOverrides(t *testing.T) {
+	prior := benchFile{
+		GoOS: "linux",
+		Benchmarks: []benchResult{
+			{Name: "BenchmarkAbstractionRouteHull", Procs: 8, Iterations: 100, NsPerOp: 10000000},
+			{Name: "BenchmarkOld", Procs: 8, Iterations: 5, NsPerOp: 42},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "prior.json")
+	buf, err := json.Marshal(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	in := "BenchmarkAbstractionRouteBBox-8 100 15000000 ns/op\n" +
+		"BenchmarkOld-8 7 99 ns/op\n"
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader([]byte(in)), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePrior(&doc, path); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]benchResult{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	if byName["BenchmarkOld"].NsPerOp != 99 {
+		t.Errorf("re-measured line must take the fresh value, got %v", byName["BenchmarkOld"].NsPerOp)
+	}
+	if byName["BenchmarkAbstractionRouteHull"].NsPerOp != 10000000 {
+		t.Error("prior-only line must survive the merge")
+	}
+	// Cross-benchmark ratio now derivable from one prior and one fresh line.
+	if got := doc.Derived["abstraction_bbox_route_overhead"]; got != 1.5 {
+		t.Errorf("derived over merged set = %v, want 1.5", got)
+	}
+	if doc.GoOS != "linux" {
+		t.Errorf("environment must fall back to prior when unset, got %q", doc.GoOS)
+	}
+}

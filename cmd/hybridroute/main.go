@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze]
+//	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze|grid]
 //	            [-abstraction hull|bbox] [-batch] [-workers 0] [-cache 4096]
 //	            [-loss 0.05] [-crash 5] [-churn 4] [-retries 3] [-lossaware]
 //	            [-trace FILE] [-pprof FILE]
@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
 	"hybridroute/internal/sim"
 	"hybridroute/internal/stats"
 	"hybridroute/internal/trace"
@@ -44,7 +45,7 @@ func main() {
 	holes := flag.Int("holes", 3, "number of convex obstacles (uniform scenario)")
 	queries := flag.Int("queries", 200, "routing queries to run")
 	seed := flag.Int64("seed", 1, "random seed")
-	scenario := flag.String("scenario", "uniform", "scenario: uniform, city or maze")
+	scenario := flag.String("scenario", "uniform", "scenario: uniform, city, maze or grid (bordered grid with O(1) holes; use with -static for large -n)")
 	router := flag.String("router", "hull", "routing variant: hull (Sec. 4) or visibility (Sec. 3)")
 	abstraction := flag.String("abstraction", "", "hole abstraction backend: hull (default, convex hulls) or bbox (bounding-box overlay, tolerates intersecting hulls)")
 	batch := flag.Bool("batch", false, "answer queries through the concurrent batch engine")
@@ -57,10 +58,14 @@ func main() {
 	lossAware := flag.Bool("lossaware", false, "plan around observed lossy links (ETX weights) in the delivery run")
 	traceFile := flag.String("trace", "", "record stack-wide trace events; write metrics + a traced sample query as JSON to this file")
 	pprofFile := flag.String("pprof", "", "write a CPU profile of the run to this file")
+	static := flag.Bool("static", false, "build the network with the simulator-free static pipeline (identical routing state, no protocol rounds; enables much larger -n)")
 	flag.Parse()
 
 	if err := validateFlags(*loss, *crash, *churn, *retries, *lossAware); err != nil {
 		log.Fatalf("flags: %v", err)
+	}
+	if *static && (*loss > 0 || *crash > 0 || *churn > 0 || *traceFile != "") {
+		log.Fatal("flags: -static builds no simulator; -loss/-crash/-churn/-trace need the distributed pipeline")
 	}
 	stopProfile := func() {}
 	if *pprofFile != "" {
@@ -83,9 +88,15 @@ func main() {
 		sc.Name, len(sc.Points), len(sc.Obstacles), sc.Radius)
 
 	g := sc.Build()
-	nw, err := core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed), Abstraction: *abstraction})
-	if err != nil {
-		log.Fatalf("preprocess: %v", err)
+	var nw *core.Network
+	var err2 error
+	if *static {
+		nw, err2 = core.PreprocessStatic(g, core.Config{Abstraction: *abstraction})
+	} else {
+		nw, err2 = core.Preprocess(g, core.Config{Strict: true, Seed: uint64(*seed), Abstraction: *abstraction})
+	}
+	if err2 != nil {
+		log.Fatalf("preprocess: %v", err2)
 	}
 	var tracer *trace.Tracer
 	if *traceFile != "" {
@@ -93,8 +104,12 @@ func main() {
 		nw.SetTracer(tracer)
 	}
 	r := nw.Report
-	fmt.Printf("\npreprocessing: %d rounds total (LDel %d, rings %d, tree %d, flood %d, domset %d)\n",
-		r.Rounds.Total, r.Rounds.LDel, r.Rounds.Rings, r.Rounds.Tree, r.Rounds.Flood, r.Rounds.DomSet)
+	if *static {
+		fmt.Println("\npreprocessing: static pipeline (no protocol rounds simulated)")
+	} else {
+		fmt.Printf("\npreprocessing: %d rounds total (LDel %d, rings %d, tree %d, flood %d, domset %d)\n",
+			r.Rounds.Total, r.Rounds.LDel, r.Rounds.Rings, r.Rounds.Tree, r.Rounds.Flood, r.Rounds.DomSet)
+	}
 	fmt.Printf("holes: %d (hull nodes %d, boundary nodes %d), tree height %d\n",
 		r.NumHoles, r.NumHullNodes, r.NumBoundaryNodes, r.TreeHeight)
 	fmt.Printf("max communication work per node: %d messages / %d words\n", r.MaxMsgs, r.MaxWords)
@@ -345,6 +360,24 @@ func buildScenario(kind string, seed int64, n, holes int) (*workload.Scenario, e
 		return workload.CityGrid(seed, 3, 3, 3, 3, 2.2, 1, 5.5)
 	case "maze":
 		return workload.Maze(seed, 14, 10, 7, 8.4, 1.2, 1, n)
+	case "grid":
+		// Bordered jittered grid with two fixed-size central obstacles: the
+		// hole count stays O(1) as n grows (uniform placement sprouts holes
+		// linearly in n, and the hole-dependent build costs are superlinear
+		// in hole corners), so this is the scenario that reaches 10^5-10^6
+		// nodes with -static. Same geometry as the BenchmarkScale series.
+		const spacing = 0.55
+		cols := int(math.Round(math.Sqrt(float64(n))))
+		if cols < 8 {
+			cols = 8
+		}
+		side := float64(cols-1)*spacing + spacing/10
+		c := side / 2
+		obstacles := [][]geom.Point{
+			workload.StarPolygon(geom.Pt(c, c+0.2), 1.6, 0.7, 5, 0.3),
+			workload.RegularPolygon(geom.Pt(c+4.4, c+3.6), 1.3, 6, 0.2),
+		}
+		return workload.BorderedGrid(spacing, side, side, 1, obstacles)
 	default:
 		side := math.Sqrt(float64(n)) * 0.42
 		if side < 6 {

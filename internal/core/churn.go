@@ -82,7 +82,9 @@ func (nw *Network) enableChurnRepair() {
 	}
 	nw.dead = make(map[sim.NodeID]bool)
 	nw.Live = NewLiveness(nw.G.N())
-	nw.Sim.OnMembershipChange(func(v sim.NodeID, up bool) { nw.repairTopology(v, up) })
+	if nw.Sim != nil {
+		nw.Sim.OnMembershipChange(func(v sim.NodeID, up bool) { nw.repairTopology(v, up) })
+	}
 }
 
 // TopoGeneration returns the number of membership-triggered topology repairs

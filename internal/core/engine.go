@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"hybridroute/internal/geom"
+	"hybridroute/internal/mem"
 	"hybridroute/internal/sim"
 	"hybridroute/internal/trace"
 )
@@ -64,10 +65,18 @@ type Engine struct {
 	nw      *Network
 	workers int
 	shards  []cacheShard
+	// scratch pools per-worker arenas for copying cached outcomes on the warm
+	// path without per-call heap allocation.
+	scratch sync.Pool
 	// tracer is the installed event recorder (nil: tracing disabled). The
 	// engine emits cache hit/miss/evict events per plan-fragment lookup and
 	// worker-queue depth events while draining a batch.
 	tracer *trace.Tracer
+}
+
+// routeScratch is the pooled per-call working memory of a warm-cache Route.
+type routeScratch struct {
+	ids *mem.Arena[sim.NodeID]
 }
 
 // NewEngine builds a batch engine over a preprocessed network.
@@ -81,6 +90,9 @@ func NewEngine(nw *Network, cfg EngineConfig) *Engine {
 		size = 4096
 	}
 	e := &Engine{nw: nw, workers: workers}
+	e.scratch.New = func() interface{} {
+		return &routeScratch{ids: mem.NewArena[sim.NodeID](0)}
+	}
 	if size > 0 {
 		shards := cfg.Shards
 		if shards <= 0 {
@@ -116,9 +128,26 @@ func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer = tr }
 func (e *Engine) label() string { return "engine" }
 
 // Route answers a single query through the plan cache. The outcome is
-// identical to Network.Route on the same pair.
+// identical to Network.Route on the same pair. A repeated query is served
+// from the whole-outcome cache: the cached Outcome is copied out through a
+// pooled arena, so the warm path performs zero per-call heap allocations
+// while the caller still receives private Path/Waypoints slices.
 func (e *Engine) Route(s, t sim.NodeID) Outcome {
-	return e.nw.route(e, s, t, false)
+	k := planKey{kind: kindOutcome, abs: e.absID(), a: s, b: t, gen: e.linkGen(), topo: e.topoGen()}
+	if v, hit := e.lookup(k); hit {
+		sc := e.scratch.Get().(*routeScratch)
+		out := *v.out
+		out.Path = sc.ids.Copy(v.out.Path)
+		out.Waypoints = sc.ids.Copy(v.out.Waypoints)
+		e.scratch.Put(sc)
+		return out
+	}
+	out := e.nw.route(e, s, t, false)
+	stored := out
+	stored.Path = copyIDs(out.Path)
+	stored.Waypoints = copyIDs(out.Waypoints)
+	e.store(k, planValue{out: &stored})
+	return out
 }
 
 // RouteBatch answers all queries on the worker pool, preserving input order
@@ -181,6 +210,7 @@ const (
 	kindGroupPath = iota
 	kindExitPlan
 	kindOverlay
+	kindOutcome // whole routing outcome for a (s, t) pair
 )
 
 // planKey identifies one cacheable sub-result. Exit plans additionally
@@ -222,11 +252,14 @@ func (e *Engine) topoGen() uint64 { return e.nw.TopoGeneration() }
 func (e *Engine) absID() uint8 { return e.nw.Abs.ID() }
 
 // planValue is a cached plan fragment. Failures (ok=false) are cached too:
-// a pair that falls back once will fall back every time.
+// a pair that falls back once will fall back every time. Whole-outcome
+// entries (kindOutcome) carry the Outcome instead; its Path/Waypoints are
+// private deep copies, never handed out directly.
 type planValue struct {
 	wps  []sim.NodeID
 	exit sim.NodeID
 	ok   bool
+	out  *Outcome
 }
 
 func (e *Engine) groupPathNodes(gi int, s, t sim.NodeID) ([]sim.NodeID, bool) {
@@ -293,24 +326,23 @@ func copyIDs(ids []sim.NodeID) []sim.NodeID {
 	return append(make([]sim.NodeID, 0, len(ids)), ids...)
 }
 
-// shardOf mixes the key fields FNV-1a style into a shard index.
+// shardOf mixes the key fields FNV-1a style into a shard index. Written
+// closure-free so the warm routing path stays allocation-free.
 func shardOf(k planKey, shards int) int {
 	h := uint64(14695981039346656037)
-	mix := func(x uint64) {
-		h ^= x
-		h *= 1099511628211
-	}
-	mix(uint64(k.kind))
-	mix(uint64(k.abs))
-	mix(uint64(uint32(k.gi)))
-	mix(uint64(k.a))
-	mix(uint64(k.b))
-	mix(math.Float64bits(k.x))
-	mix(math.Float64bits(k.y))
-	mix(k.gen)
-	mix(k.topo)
+	h = fnvMix(h, uint64(k.kind))
+	h = fnvMix(h, uint64(k.abs))
+	h = fnvMix(h, uint64(uint32(k.gi)))
+	h = fnvMix(h, uint64(k.a))
+	h = fnvMix(h, uint64(k.b))
+	h = fnvMix(h, math.Float64bits(k.x))
+	h = fnvMix(h, math.Float64bits(k.y))
+	h = fnvMix(h, k.gen)
+	h = fnvMix(h, k.topo)
 	return int(h % uint64(shards))
 }
+
+func fnvMix(h, x uint64) uint64 { return (h ^ x) * 1099511628211 }
 
 // cacheShard is one lock-striped LRU segment: map for lookup, list for
 // recency order (front = most recent).

@@ -380,7 +380,9 @@ func preprocess(g *udg.Graph, cfg Config, tree *overlaytree.Tree, prev *Network)
 // counts are byte-identical with and without a tracer (pinned by tests).
 func (nw *Network) SetTracer(tr *trace.Tracer) {
 	nw.tracer = tr
-	nw.Sim.SetTracer(tr)
+	if nw.Sim != nil {
+		nw.Sim.SetTracer(tr)
+	}
 }
 
 // Tracer returns the installed event recorder (nil when tracing is off).

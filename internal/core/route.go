@@ -159,7 +159,7 @@ func (nw *Network) route(src planSource, s, t sim.NodeID, useVisibility bool) Ou
 			}
 			mid = m
 		}
-		wps := append([]sim.NodeID{}, head...)
+		wps := append(make([]sim.NodeID, 0, len(head)+len(mid)+len(tailRev)), head...)
 		wps = appendWaypoints(wps, mid)
 		wps = appendWaypoints(wps, reverseIDs(tailRev))
 		out.Waypoints = wps
@@ -522,14 +522,17 @@ func (nw *Network) globalFallback(s, t sim.NodeID, out Outcome) Outcome {
 	return out
 }
 
-// spliceTail concatenates two hop paths that share a junction node, copying
-// into a fresh slice; an empty or single-node tail contributes nothing.
+// spliceTail concatenates two hop paths into a fresh slice, merging the
+// junction node when the tail starts where the head ends. The junction is
+// dropped by value, not position: a tail that does not actually begin at the
+// head's last node keeps its first element instead of silently losing a hop
+// (the old positional splice corrupted such paths).
 func spliceTail(head, tail []sim.NodeID) []sim.NodeID {
-	out := append([]sim.NodeID{}, head...)
-	if len(tail) > 1 {
-		out = append(out, tail[1:]...)
+	out := append(make([]sim.NodeID, 0, len(head)+len(tail)), head...)
+	if len(tail) > 0 && len(out) > 0 && tail[0] == out[len(out)-1] {
+		tail = tail[1:]
 	}
-	return out
+	return append(out, tail...)
 }
 
 func appendWaypoints(dst, src []sim.NodeID) []sim.NodeID {
@@ -541,10 +544,12 @@ func appendWaypoints(dst, src []sim.NodeID) []sim.NodeID {
 	return dst
 }
 
+// reverseIDs reverses in place and returns the same slice. Every caller owns
+// its argument exclusively (plan sources return private copies), so no fresh
+// allocation is needed.
 func reverseIDs(ids []sim.NodeID) []sim.NodeID {
-	out := make([]sim.NodeID, len(ids))
-	for i, v := range ids {
-		out[len(ids)-1-i] = v
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
 	}
-	return out
+	return ids
 }

@@ -1,0 +1,85 @@
+// Static (simulator-free) preprocessing for the million-node regime. The
+// distributed pipeline of Preprocess is faithful to the paper — every phase
+// runs as real protocol messages — but the simulator allocates per-node
+// knowledge state that makes n=10⁶ infeasible in one process.
+// PreprocessStatic builds the identical routing state centrally:
+//
+//   - LDel² via the grid-accelerated LDel2Fast (provably equal to the
+//     distributed construction's output, both pinned by tests),
+//   - hole detection, the hole abstraction, visibility domains, bays and
+//     storage accounting exactly as Preprocess does,
+//   - a synthetic balanced overlay tree in place of phase J (the query path
+//     never reads the tree; only storage accounting does),
+//
+// and skips the phases that only measure communication (rings, flood,
+// dominating sets — Bay.DS is never read on the query path). Routing
+// outcomes are byte-identical to a Preprocess-built network on the same
+// deployment, pinned by the golden digest test.
+
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridroute/internal/delaunay"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/overlaytree"
+	"hybridroute/internal/routing"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/udg"
+	"hybridroute/internal/vis"
+)
+
+// PreprocessStatic builds a query-ready Network without a simulator.
+// Config fields other than Abstraction are ignored (there is no
+// communication to make strict, parallel, or seeded). The returned network
+// answers Route/Engine queries exactly like a Preprocess-built one;
+// simulator-bound features (RouteOnSim transports, churn schedules,
+// round/message accounting) are unavailable — nw.Sim is nil.
+func PreprocessStatic(g *udg.Graph, cfg Config) (*Network, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty deployment")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("core: UDG is disconnected; the paper assumes strong connectivity")
+	}
+	nw := &Network{G: g}
+	nw.Link = NewLinkStats(0)
+
+	nw.LDel = delaunay.LDel2Fast(g)
+	nw.Router = routing.New(nw.LDel)
+
+	nw.Holes = delaunay.DetectHoles(nw.LDel, g.Radius())
+	nw.Report.NumHoles = len(nw.Holes.Holes)
+	nw.Report.HullsIntersect = nw.Holes.HullsIntersect()
+
+	nw.Tree = overlaytree.Synthetic(g.N())
+	nw.Report.TreeHeight = nw.Tree.Height()
+
+	if err := nw.buildAbstraction(cfg.Abstraction); err != nil {
+		return nil, err
+	}
+	var boundaries [][]geom.Point
+	for _, h := range nw.Holes.Holes {
+		boundaries = append(boundaries, h.Polygon)
+	}
+	nw.VisDomain = vis.NewDomain(boundaries)
+	nw.hullNodeOf = make(map[geom.Point]sim.NodeID)
+	for _, h := range nw.Holes.Holes {
+		for _, v := range h.HullNodes {
+			nw.hullNodeOf[nw.G.Point(v)] = v
+		}
+	}
+	nw.nodeAtPt = make(map[geom.Point]sim.NodeID, g.N())
+	for v := 0; v < g.N(); v++ {
+		nw.nodeAtPt[g.Point(sim.NodeID(v))] = sim.NodeID(v)
+	}
+	nw.groupDomains = make([]*vis.Domain, len(nw.Groups))
+	nw.groupDomainInit = make([]sync.Once, len(nw.Groups))
+
+	nw.buildBays()
+	nw.accountStorage()
+	nw.enableChurnRepair()
+	return nw, nil
+}

@@ -14,20 +14,44 @@ type Face struct {
 
 // DistinctNodes returns the number of distinct nodes on the face boundary.
 func (f Face) DistinctNodes() int {
-	set := make(map[udg.NodeID]bool, len(f.Cycle))
-	for _, v := range f.Cycle {
+	c := f.Cycle
+	// Faces are overwhelmingly triangles and quads; a quadratic scan beats a
+	// map allocation until cycles get long (hole rings).
+	if len(c) <= 12 {
+		n := 0
+		for i, v := range c {
+			dup := false
+			for j := 0; j < i; j++ {
+				if c[j] == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				n++
+			}
+		}
+		return n
+	}
+	set := make(map[udg.NodeID]bool, len(c))
+	for _, v := range c {
 		set[v] = true
 	}
 	return len(set)
 }
 
-// area returns the signed area of the face's boundary walk.
+// area returns the signed area of the face's boundary walk. The shoelace sum
+// replicates geom.PolygonArea's operation order exactly (same additions in
+// the same sequence) so the result is bit-identical without materializing the
+// polygon.
 func (f Face) area(g *PlanarGraph) float64 {
-	poly := make([]geom.Point, len(f.Cycle))
-	for i, v := range f.Cycle {
-		poly[i] = g.Point(v)
+	n := len(f.Cycle)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += g.pts[f.Cycle[i]].Cross(g.pts[f.Cycle[j]])
 	}
-	return geom.PolygonArea(poly)
+	return sum / 2
 }
 
 // Polygon returns the face boundary as points.
@@ -37,6 +61,15 @@ func (f Face) Polygon(g *PlanarGraph) []geom.Point {
 		poly[i] = g.Point(v)
 	}
 	return poly
+}
+
+// AppendPolygon appends the face boundary points to dst and returns it,
+// letting hot paths reuse a scratch buffer instead of allocating per face.
+func (f Face) AppendPolygon(g *PlanarGraph, dst []geom.Point) []geom.Point {
+	for _, v := range f.Cycle {
+		dst = append(dst, g.Point(v))
+	}
+	return dst
 }
 
 // HasEdge reports whether the undirected edge (a, b) appears on the face
@@ -57,41 +90,47 @@ func (f Face) HasEdge(a, b udg.NodeID) bool {
 // where w precedes u in the counterclockwise rotation of v. With this rule
 // every bounded face is traced counterclockwise (interior to the left) and
 // the outer face clockwise. Every directed edge lies on exactly one face.
+//
+// Directed edges are identified by their dense position in the CSR layout of
+// the rotations, so the visited set is a flat []bool rather than a hash map,
+// and finding the predecessor of u in v's rotation also yields the next
+// directed-edge index for free. Enumeration order (node ascending, rotation
+// order within each node) matches the historical map-based implementation
+// exactly.
 func (g *PlanarGraph) Faces() []Face {
-	type dedge struct{ u, v udg.NodeID }
-	visited := make(map[dedge]bool, 2*g.EdgeCount())
+	off, dat := g.flatRows()
+	visited := make([]bool, len(dat))
 	var faces []Face
 
 	for u := 0; u < g.N(); u++ {
-		for _, v := range g.adj[u] {
-			start := dedge{udg.NodeID(u), v}
-			if visited[start] {
+		for k := int(off[u]); k < int(off[u+1]); k++ {
+			if visited[k] {
 				continue
 			}
 			var cycle []udg.NodeID
-			cur := start
-			for !visited[cur] {
-				visited[cur] = true
-				cycle = append(cycle, cur.u)
-				w := g.prevInRotation(cur.v, cur.u)
-				cur = dedge{cur.v, w}
+			cu, ck := udg.NodeID(u), k
+			for !visited[ck] {
+				visited[ck] = true
+				cycle = append(cycle, cu)
+				cv := dat[ck]
+				row := dat[off[cv]:off[cv+1]]
+				pi := -1
+				for i, w := range row {
+					if w == cu {
+						pi = i
+						break
+					}
+				}
+				if pi < 0 {
+					panic("delaunay: rotation lookup for absent edge")
+				}
+				ni := (pi - 1 + len(row)) % len(row)
+				cu, ck = cv, int(off[cv])+ni
 			}
 			faces = append(faces, Face{Cycle: cycle})
 		}
 	}
 	return faces
-}
-
-// prevInRotation returns the neighbour of v that immediately precedes u in
-// the counterclockwise rotation of v (wrapping around).
-func (g *PlanarGraph) prevInRotation(v, u udg.NodeID) udg.NodeID {
-	nbrs := g.adj[v]
-	for i, w := range nbrs {
-		if w == u {
-			return nbrs[(i-1+len(nbrs))%len(nbrs)]
-		}
-	}
-	panic("delaunay: rotation lookup for absent edge")
 }
 
 // OuterFaceIndex returns the index of the unbounded face in faces: the one

@@ -1,0 +1,232 @@
+// LDel2Fast is the scale-path construction of the 2-localized Delaunay graph.
+// LDelK materializes every node's k-hop neighbourhood up front — O(n·Δ^k)
+// memory and a hash set per triangle — which is fine at n=10³ and hopeless at
+// n=10⁶. LDel2Fast computes the identical graph (same Definition 2.2/2.3
+// predicates, same exact-arithmetic InCircle tests) from purely local
+// geometry:
+//
+//   - a node x can only reject a triangle with minimum vertex u if it lies
+//     within 2 UDG hops of u, v, or w, hence within Euclidean distance 3r of
+//     u — so candidate rejectors are enumerated from the UDG's spatial grid
+//     in a fixed 3r box instead of from precomputed hop sets;
+//   - "within 2 hops of base" is decided with two epoch-stamped membership
+//     sets: x is within 2 hops of base iff x is base/a neighbour of base, or
+//     some UDG neighbour of x is — no BFS, no hashing;
+//   - the per-node work shards cleanly, so construction runs on all cores
+//     and the edge list is canonicalized (sort + dedupe) afterwards, making
+//     the result independent of scheduling.
+//
+// The equivalence LDel2Fast(g) == LDelK(g, 2) is pinned by test.
+
+package delaunay
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/mem"
+	"hybridroute/internal/udg"
+)
+
+// LDel2Fast computes LDel²(V) of the unit disk graph g, producing the same
+// graph as LDelK(g, 2) in near-linear time and memory.
+func LDel2Fast(g *udg.Graph) *PlanarGraph {
+	n := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			parts[wk] = ldel2Range(g, lo, hi)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+
+	var packed []uint64
+	for _, p := range parts {
+		packed = append(packed, p...)
+	}
+	sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
+	edges := make([][2]int, 0, len(packed))
+	for i, e := range packed {
+		if i > 0 && e == packed[i-1] {
+			continue
+		}
+		edges = append(edges, [2]int{int(e >> 32), int(uint32(e))})
+	}
+	return NewPlanarGraph(g.Points(), edges)
+}
+
+// ldel2Range emits the LDel² edges whose minimum vertex (for triangles) or
+// lower endpoint (for Gabriel edges) lies in [lo, hi), packed as a<<32|b
+// with a < b.
+func ldel2Range(g *udg.Graph, lo, hi int) []uint64 {
+	r := g.Radius()
+	r2 := r * r
+	var out []uint64
+	add := func(a, b udg.NodeID) {
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, uint64(a)<<32|uint64(uint32(b)))
+	}
+
+	n := g.N()
+	mkU := mem.NewMarks(n)
+	mkV := mem.NewMarks(n)
+	mkW := mem.NewMarks(n)
+	// stamp loads base's closed neighbourhood {base} ∪ N(base) into mk.
+	stamp := func(mk *mem.Marks, base udg.NodeID) {
+		mk.Reset()
+		mk.Set(int(base))
+		for _, y := range g.Neighbors(base) {
+			mk.Set(int(y))
+		}
+	}
+	// within2 decides x ∈ N≤2(base) given mk = {base} ∪ N(base): either x is
+	// already marked (≤ 1 hop) or one of x's neighbours is (exactly 2 hops).
+	within2 := func(mk *mem.Marks, x udg.NodeID) bool {
+		if mk.Has(int(x)) {
+			return true
+		}
+		for _, y := range g.Neighbors(x) {
+			if mk.Has(int(y)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var cand []udg.NodeID
+	for u := lo; u < hi; u++ {
+		pu := g.Point(udg.NodeID(u))
+		nbrs := g.Neighbors(udg.NodeID(u))
+
+		// Gabriel edges — identical predicate and scan order to LDelK.
+		for _, v := range nbrs {
+			if int(v) < u {
+				continue
+			}
+			pv := g.Point(v)
+			gabriel := true
+			for _, w := range nbrs {
+				if w == v {
+					continue
+				}
+				if geom.InDiametralCircle(pu, pv, g.Point(w)) {
+					gabriel = false
+					break
+				}
+			}
+			if gabriel {
+				add(udg.NodeID(u), v)
+			}
+		}
+
+		// 2-localized triangles from their minimum vertex u. Any rejector is
+		// within 2 hops of u, v, or w, hence within Euclidean 3r of u; the
+		// grid box below is a superset of that disk, enumerated once per u.
+		cand = cand[:0]
+		haveCand := false
+		stampedU := false
+		for i := 0; i < len(nbrs); i++ {
+			v := nbrs[i]
+			if int(v) < u {
+				continue
+			}
+			pv := g.Point(v)
+			stampedV := false
+			for j := i + 1; j < len(nbrs); j++ {
+				w := nbrs[j]
+				if int(w) < u {
+					continue
+				}
+				pw := g.Point(w)
+				if pv.Dist2(pw) > r2 {
+					continue
+				}
+				if geom.Orient(pu, pv, pw) == geom.Collinear {
+					continue
+				}
+				// Fast rejection: every UDG neighbour of u is within 2 hops
+				// of u, so a single InCircle hit among them settles it.
+				rejected := false
+				for _, x := range nbrs {
+					if x == v || x == w {
+						continue
+					}
+					if geom.InCircle(pu, pv, pw, g.Point(x)) {
+						rejected = true
+						break
+					}
+				}
+				if rejected {
+					continue
+				}
+				if !haveCand {
+					lo3 := geom.Point{X: pu.X - 3*r, Y: pu.Y - 3*r}
+					hi3 := geom.Point{X: pu.X + 3*r, Y: pu.Y + 3*r}
+					g.ForNodesInBox(lo3, hi3, func(x udg.NodeID) {
+						cand = append(cand, x)
+					})
+					haveCand = true
+				}
+				if !stampedU {
+					stamp(mkU, udg.NodeID(u))
+					stampedU = true
+				}
+				if !stampedV {
+					stamp(mkV, v)
+					stampedV = true
+				}
+				stamp(mkW, w)
+				for _, x := range cand {
+					if x == udg.NodeID(u) || x == v || x == w {
+						continue
+					}
+					px := g.Point(x)
+					// A 2-hop rejector of any base vertex is within 2r of it.
+					du := px.Dist2(pu) <= 4*r2
+					dv := px.Dist2(pv) <= 4*r2
+					dw := px.Dist2(pw) <= 4*r2
+					if !du && !dv && !dw {
+						continue
+					}
+					if !geom.InCircle(pu, pv, pw, px) {
+						continue
+					}
+					if (du && within2(mkU, x)) || (dv && within2(mkV, x)) || (dw && within2(mkW, x)) {
+						rejected = true
+						break
+					}
+				}
+				if rejected {
+					continue
+				}
+				add(udg.NodeID(u), v)
+				add(v, w)
+				add(udg.NodeID(u), w)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package delaunay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+	"hybridroute/internal/workload"
+)
+
+// edgeSet canonicalizes a planar graph's undirected edge set for comparison.
+func edgeSet(g *PlanarGraph) map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for _, e := range g.Edges() {
+		set[e] = true
+	}
+	return set
+}
+
+// TestLDel2FastMatchesLDelK pins the load-bearing equivalence of the scale
+// path: LDel2Fast must produce exactly LDelK(g, 2) — same edge set, same
+// rotations — on scenario families with obstacles (radio holes), jittered
+// near-degenerate grids, and uniform random clouds.
+func TestLDel2FastMatchesLDelK(t *testing.T) {
+	var graphs []*udg.Graph
+
+	star := workload.StarPolygon(geom.Pt(3, 3.2), 1.6, 0.7, 5, 0.3)
+	hexa := workload.RegularPolygon(geom.Pt(7.4, 6.8), 1.3, 6, 0.2)
+	sc, err := workload.JitteredGrid(0.55, 10, 10, 1, [][]geom.Point{star, hexa})
+	if err != nil {
+		t.Fatalf("JitteredGrid: %v", err)
+	}
+	graphs = append(graphs, sc.Build())
+
+	plain, err := workload.JitteredGrid(0.5, 8, 6, 1, nil)
+	if err != nil {
+		t.Fatalf("JitteredGrid plain: %v", err)
+	}
+	graphs = append(graphs, plain.Build())
+
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Point, 0, 220)
+		for len(pts) < 220 {
+			pts = append(pts, geom.Pt(rng.Float64()*9, rng.Float64()*9))
+		}
+		g := udg.Build(pts, 1.1)
+		if !g.Connected() {
+			continue
+		}
+		graphs = append(graphs, g)
+	}
+
+	for gi, g := range graphs {
+		t.Run(fmt.Sprintf("graph%d_n%d", gi, g.N()), func(t *testing.T) {
+			want := LDelK(g, 2)
+			got := LDel2Fast(g)
+			ws, gs := edgeSet(want), edgeSet(got)
+			for e := range ws {
+				if !gs[e] {
+					t.Errorf("LDel2Fast missing edge %v", e)
+				}
+			}
+			for e := range gs {
+				if !ws[e] {
+					t.Errorf("LDel2Fast extra edge %v", e)
+				}
+			}
+			if t.Failed() {
+				return
+			}
+			// Rotations must match too (byte-identical downstream faces).
+			for v := 0; v < g.N(); v++ {
+				wr := want.Neighbors(udg.NodeID(v))
+				gr := got.Neighbors(udg.NodeID(v))
+				if len(wr) != len(gr) {
+					t.Fatalf("node %d rotation length %d != %d", v, len(gr), len(wr))
+				}
+				for i := range wr {
+					if wr[i] != gr[i] {
+						t.Fatalf("node %d rotation[%d] = %d, want %d", v, i, gr[i], wr[i])
+					}
+				}
+			}
+		})
+	}
+}

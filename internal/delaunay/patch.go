@@ -20,18 +20,18 @@ import (
 // rotations, so the embedding stays a valid rotation system; v itself stays
 // in the graph as an isolated point (node IDs are stable).
 func (g *PlanarGraph) RemoveNodeEdges(v udg.NodeID) []udg.NodeID {
-	nbrs := append([]udg.NodeID(nil), g.adj[v]...)
+	nbrs := append([]udg.NodeID(nil), g.row(v)...)
 	for _, w := range nbrs {
-		a := g.adj[w]
+		a := g.materialize(w)
 		out := a[:0]
 		for _, x := range a {
 			if x != v {
 				out = append(out, x)
 			}
 		}
-		g.adj[w] = out
+		g.mut[w] = out
 	}
-	g.adj[v] = g.adj[v][:0]
+	g.mut[v] = g.materialize(v)[:0]
 	return nbrs
 }
 
@@ -138,9 +138,19 @@ func detectHoles(ldel *PlanarGraph, r float64, excluded map[udg.NodeID]bool, pre
 	}
 	hullPts := geom.ConvexHull(hullInput)
 	if len(hullPts) >= 3 {
-		ptIndex := make(map[geom.Point]udg.NodeID, ldel.N())
+		// Only hull vertices ever get looked up, so index just those few
+		// points instead of building a map over all n nodes. Scanning nodes
+		// in ascending order keeps the historical resolution for coincident
+		// points (the highest live node ID wins).
+		ptIndex := make(map[geom.Point]udg.NodeID, len(hullPts))
+		for _, p := range hullPts {
+			ptIndex[p] = udg.NodeID(0)
+		}
 		for v := 0; v < ldel.N(); v++ {
-			if !excluded[udg.NodeID(v)] {
+			if excluded[udg.NodeID(v)] {
+				continue
+			}
+			if _, ok := ptIndex[ldel.Point(udg.NodeID(v))]; ok {
 				ptIndex[ldel.Point(udg.NodeID(v))] = udg.NodeID(v)
 			}
 		}

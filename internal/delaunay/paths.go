@@ -60,7 +60,7 @@ func (g *PlanarGraph) shortestPath(s, t udg.NodeID, avoid map[udg.NodeID]bool, w
 			break
 		}
 		pv := g.Point(item.v)
-		for _, w := range g.adj[item.v] {
+		for _, w := range g.row(item.v) {
 			if avoid[w] && w != t {
 				continue
 			}

@@ -1,0 +1,155 @@
+package mem
+
+import "testing"
+
+func TestCSRBuilder(t *testing.T) {
+	// rows: 0 -> {10, 11}, 1 -> {}, 2 -> {20}, 3 -> {30, 31, 32}
+	b := NewCSRBuilder[int](4)
+	for i, n := range []int{2, 0, 1, 3} {
+		for j := 0; j < n; j++ {
+			b.Count(i)
+		}
+	}
+	b.Seal()
+	b.Put(3, 30)
+	b.Put(0, 10)
+	b.Put(3, 31)
+	b.Put(2, 20)
+	b.Put(0, 11)
+	b.Put(3, 32)
+	c := b.Done()
+	if c.Rows() != 4 {
+		t.Fatalf("Rows() = %d, want 4", c.Rows())
+	}
+	want := [][]int{{10, 11}, {}, {20}, {30, 31, 32}}
+	for i, w := range want {
+		got := c.Row(i)
+		if len(got) != len(w) {
+			t.Fatalf("row %d = %v, want %v", i, got, w)
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("row %d = %v, want %v", i, got, w)
+			}
+		}
+	}
+}
+
+func TestCSRZeroValue(t *testing.T) {
+	var c CSR[int]
+	if c.Rows() != 0 {
+		t.Fatalf("zero CSR Rows() = %d, want 0", c.Rows())
+	}
+}
+
+func TestArenaAllocIsPrivateAndCapped(t *testing.T) {
+	a := NewArena[int](8)
+	s1 := a.Alloc(3)
+	s2 := a.Alloc(3)
+	if cap(s1) != 3 || cap(s2) != 3 {
+		t.Fatalf("caps = %d, %d, want 3, 3 (appends must not bleed into neighbours)", cap(s1), cap(s2))
+	}
+	for i := range s1 {
+		if s1[i] != 0 {
+			t.Fatalf("Alloc not zeroed: %v", s1)
+		}
+		s1[i] = 7
+	}
+	// s2 comes from the same block directly after s1; writing s1 must not
+	// have touched it, and appending to s1 must reallocate, not overwrite s2.
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("neighbouring allocation corrupted: %v", s2)
+		}
+	}
+	s1 = append(s1, 9)
+	if s2[0] != 0 {
+		t.Fatalf("append to s1 bled into s2: %v", s2)
+	}
+	_ = s1
+}
+
+func TestArenaAllocBiggerThanBlock(t *testing.T) {
+	a := NewArena[byte](4)
+	s := a.Alloc(100)
+	if len(s) != 100 || cap(s) != 100 {
+		t.Fatalf("len/cap = %d/%d, want 100/100", len(s), cap(s))
+	}
+	// The arena must still be usable afterwards.
+	if got := a.Alloc(2); len(got) != 2 {
+		t.Fatalf("Alloc after oversized request failed: len %d", len(got))
+	}
+}
+
+func TestArenaZeroValueUsable(t *testing.T) {
+	var a Arena[int]
+	if got := a.Alloc(5); len(got) != 5 {
+		t.Fatalf("zero-value arena Alloc len = %d, want 5", len(got))
+	}
+}
+
+func TestArenaCopyPreservesNilness(t *testing.T) {
+	a := NewArena[int](0)
+	if got := a.Copy(nil); got != nil {
+		t.Fatalf("Copy(nil) = %v, want nil", got)
+	}
+	if got := a.Copy([]int{}); got == nil || len(got) != 0 {
+		t.Fatalf("Copy(empty) = %v, want non-nil empty", got)
+	}
+	src := []int{1, 2, 3}
+	dst := a.Copy(src)
+	dst[0] = 99
+	if src[0] != 1 {
+		t.Fatalf("Copy aliases its source: src = %v", src)
+	}
+}
+
+func TestArenaSlicesSurviveLaterAllocs(t *testing.T) {
+	a := NewArena[int](4)
+	kept := a.Copy([]int{1, 2, 3})
+	for i := 0; i < 100; i++ {
+		s := a.Alloc(3)
+		s[0], s[1], s[2] = -1, -1, -1
+	}
+	if kept[0] != 1 || kept[1] != 2 || kept[2] != 3 {
+		t.Fatalf("earlier slice clobbered by later allocations: %v", kept)
+	}
+}
+
+func TestMarks(t *testing.T) {
+	m := NewMarks(10)
+	if m.Len() != 10 {
+		t.Fatalf("Len() = %d, want 10", m.Len())
+	}
+	m.Set(3)
+	m.Set(7)
+	if !m.Has(3) || !m.Has(7) || m.Has(0) {
+		t.Fatal("Set/Has disagree")
+	}
+	m.Reset()
+	if m.Has(3) || m.Has(7) {
+		t.Fatal("Reset did not clear the set")
+	}
+	m.Set(3)
+	if !m.Has(3) {
+		t.Fatal("Set after Reset lost")
+	}
+}
+
+func TestMarksEpochWrap(t *testing.T) {
+	m := NewMarks(4)
+	m.Set(1)
+	m.cur = ^uint32(0) // force the next Reset to wrap
+	m.Reset()
+	if m.cur != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", m.cur)
+	}
+	// Stale stamps from before the wipe must not read as members.
+	if m.Has(1) {
+		t.Fatal("stale stamp visible after epoch wrap")
+	}
+	m.Set(2)
+	if !m.Has(2) {
+		t.Fatal("Set after wrap lost")
+	}
+}

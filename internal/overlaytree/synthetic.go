@@ -1,0 +1,40 @@
+package overlaytree
+
+import "hybridroute/internal/sim"
+
+// Synthetic returns a balanced binary tree over n nodes without running the
+// distributed construction: Parent[i] = (i-1)/2, rooted at 0. The static
+// (simulator-free) preprocessing path uses it — the routing query path never
+// reads the tree, only the storage accounting does, and a balanced O(log n)
+// height tree matches the asymptotics the distributed build guarantees. The
+// children rows share one backing array so a million-node tree costs O(1)
+// allocations.
+func Synthetic(n int) *Tree {
+	t := &Tree{Parent: make([]sim.NodeID, n), Children: make([][]sim.NodeID, n)}
+	if n == 0 {
+		return t
+	}
+	t.Root = 0
+	t.Parent[0] = 0
+	if n > 1 {
+		backing := make([]sim.NodeID, n-1)
+		for i := 1; i < n; i++ {
+			t.Parent[i] = sim.NodeID((i - 1) / 2)
+			backing[i-1] = sim.NodeID(i)
+		}
+		// backing[i-1] = i, so node v's children occupy the contiguous range
+		// [2v+1, 2v+2] ∩ [1, n-1] of the backing array.
+		for v := 0; v < n; v++ {
+			lo := 2*v + 1
+			hi := 2*v + 2
+			if lo >= n {
+				continue
+			}
+			if hi >= n {
+				hi = n - 1
+			}
+			t.Children[v] = backing[lo-1 : hi]
+		}
+	}
+	return t
+}

@@ -94,7 +94,12 @@ func (r *Router) ChewVia(waypoints []NodeID) Result {
 }
 
 // corridor returns the indices of all faces whose interior the segment
-// passes through, ordered by entry parameter along the segment.
+// passes through, ordered by entry parameter along the segment. The face
+// grid narrows the scan to faces near the segment; a candidate earns an
+// entry only through the same geometric tests the full scan used, so the
+// corridor is identical to scanning every face. (The outer face is never
+// registered in the grid: segments between nodes stay inside CH(V) and
+// cannot pass through the outer face of the hull-augmented embedding.)
 func (r *Router) corridor(L geom.Segment) []int {
 	entries := make(map[int]float64)
 	dir := L.B.Sub(L.A)
@@ -102,15 +107,17 @@ func (r *Router) corridor(L geom.Segment) []int {
 	paramOf := func(p geom.Point) float64 {
 		return p.Sub(L.A).Dot(dir) / len2
 	}
-	for fi := range r.faces {
-		if fi == r.outer {
-			// Segments between nodes stay inside CH(V) and cannot pass
-			// through the outer face of the hull-augmented embedding.
-			continue
-		}
-		poly := r.polys[fi]
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	sc.cand = sc.cand[:0]
+	if r.grid != nil {
+		sc.cand = r.grid.candidates(L, sc, sc.cand)
+	}
+	for _, fi32 := range sc.cand {
+		fi := int(fi32)
+		poly := r.faces[fi].AppendPolygon(r.gbar, sc.poly[:0])
 		n := len(poly)
-		var params []float64
+		params := sc.params[:0]
 		for j := 0; j < n; j++ {
 			e := geom.Seg(poly[j], poly[(j+1)%n])
 			if geom.SegmentsProperlyIntersect(L, e) {
@@ -122,6 +129,7 @@ func (r *Router) corridor(L geom.Segment) []int {
 				params = append(params, clamp01(paramOf(poly[j])))
 			}
 		}
+		sc.poly, sc.params = poly, params
 		if len(params) < 2 {
 			continue
 		}

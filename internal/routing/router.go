@@ -19,6 +19,7 @@ package routing
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"hybridroute/internal/delaunay"
 	"hybridroute/internal/geom"
@@ -79,8 +80,11 @@ type Router struct {
 	gbar  *delaunay.PlanarGraph // g plus CH(V) edges, for face enumeration
 	faces []delaunay.Face
 	outer int
-	// polys caches face polygons.
-	polys [][]geom.Point
+	// grid narrows corridor queries to faces near the segment; scratch pools
+	// the per-query working memory (corridors run concurrently under the
+	// engine's batch workers).
+	grid    *faceGrid
+	scratch *sync.Pool
 	// maxHops bounds every walk; defaults to 4n.
 	maxHops int
 }
@@ -94,24 +98,36 @@ func New(g *delaunay.PlanarGraph) *Router {
 	r.gbar = g.Clone()
 	if g.N() >= 3 {
 		hull := geom.ConvexHull(g.Points())
-		idx := make(map[geom.Point]NodeID, g.N())
+		// Index only the hull points: probing every node against a
+		// hull-sized map avoids an n-entry map at n=10⁶. The ascending scan
+		// keeps the historical coincident-point resolution (highest node ID
+		// wins, as later map inserts used to overwrite earlier ones).
+		idx := make(map[geom.Point]NodeID, len(hull))
+		for _, p := range hull {
+			idx[p] = -1
+		}
 		for v := 0; v < g.N(); v++ {
-			idx[g.Point(NodeID(v))] = NodeID(v)
+			p := g.Point(NodeID(v))
+			if _, ok := idx[p]; ok {
+				idx[p] = NodeID(v)
+			}
 		}
 		for i := range hull {
 			a, okA := idx[hull[i]]
 			b, okB := idx[hull[(i+1)%len(hull)]]
-			if okA && okB {
+			if okA && okB && a >= 0 && b >= 0 {
 				r.gbar.AddEdge(a, b)
 			}
 		}
 	}
 	r.faces = r.gbar.Faces()
 	r.outer = r.gbar.OuterFaceIndex(r.faces)
-	r.polys = make([][]geom.Point, len(r.faces))
-	for i, f := range r.faces {
-		r.polys[i] = f.Polygon(r.gbar)
+	r.grid = newFaceGrid(r.gbar, r.faces, r.outer)
+	nCells := 0
+	if r.grid != nil {
+		nCells = r.grid.nx * r.grid.ny
 	}
+	r.scratch = newScratchPool(nCells, len(r.faces))
 	return r
 }
 

@@ -17,11 +17,17 @@ import (
 // NodeID indexes a node in the point set. IDs are dense: 0..n-1.
 type NodeID int
 
-// Graph is a unit disk graph over a fixed point set.
+// Graph is a unit disk graph over a fixed point set. Adjacency is stored in
+// a flat CSR (compressed sparse row) layout — two contiguous arrays indexed
+// by dense node IDs — so a million-node graph is a handful of allocations;
+// the graph is immutable after Build. The construction grid index is
+// retained for spatial queries (ForNodesInBox).
 type Graph struct {
 	pts    []geom.Point
 	radius float64
-	adj    [][]NodeID
+	off    []int32
+	dat    []NodeID
+	idx    *gridIndex
 }
 
 // Build constructs the unit disk graph of pts with communication radius r.
@@ -30,20 +36,35 @@ func Build(pts []geom.Point, r float64) *Graph {
 	if r <= 0 {
 		panic(fmt.Sprintf("udg: non-positive radius %v", r))
 	}
+	n := len(pts)
 	g := &Graph{
 		pts:    append([]geom.Point(nil), pts...),
 		radius: r,
-		adj:    make([][]NodeID, len(pts)),
+		off:    make([]int32, n+1),
 	}
-	idx := newGridIndex(pts, r)
+	g.idx = newGridIndex(g.pts, r)
 	r2 := r * r
-	for i, p := range pts {
-		idx.forNeighbors(p, func(j int) {
-			if j == i {
-				return
+	// Two passes over the same deterministic grid enumeration: count degrees,
+	// then fill rows. Row order matches the historical append-based build
+	// (3x3 cell scan, insertion order within cells).
+	for i, p := range g.pts {
+		g.idx.forNeighbors(p, func(j int) {
+			if j != i && p.Dist2(g.pts[j]) <= r2 {
+				g.off[i+1]++
 			}
-			if p.Dist2(pts[j]) <= r2 {
-				g.adj[i] = append(g.adj[i], NodeID(j))
+		})
+	}
+	for i := 1; i <= n; i++ {
+		g.off[i] += g.off[i-1]
+	}
+	g.dat = make([]NodeID, g.off[n])
+	cur := make([]int32, n)
+	copy(cur, g.off[:n])
+	for i, p := range g.pts {
+		g.idx.forNeighbors(p, func(j int) {
+			if j != i && p.Dist2(g.pts[j]) <= r2 {
+				g.dat[cur[i]] = NodeID(j)
+				cur[i]++
 			}
 		})
 	}
@@ -62,18 +83,19 @@ func (g *Graph) Point(v NodeID) geom.Point { return g.pts[v] }
 // Points returns the backing point slice; callers must not modify it.
 func (g *Graph) Points() []geom.Point { return g.pts }
 
-// Neighbors returns the adjacency list of v; callers must not modify it.
-func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+// Neighbors returns the adjacency list of v as a view into the flat layout;
+// callers must not modify it.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.dat[g.off[v]:g.off[v+1]] }
 
 // Degree returns the number of UDG neighbours of v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return int(g.off[v+1] - g.off[v]) }
 
 // MaxDegree returns the maximum degree Δ of the graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, a := range g.adj {
-		if len(a) > max {
-			max = len(a)
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
 		}
 	}
 	return max
@@ -88,12 +110,24 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 }
 
 // EdgeCount returns the number of undirected edges.
-func (g *Graph) EdgeCount() int {
-	total := 0
-	for _, a := range g.adj {
-		total += len(a)
+func (g *Graph) EdgeCount() int { return len(g.dat) / 2 }
+
+// ForNodesInBox calls fn for every node in a grid cell overlapping the
+// axis-aligned box [lo, hi] — a superset of the nodes inside the box, each
+// reported once, in deterministic (cell-sweep, insertion) order. Callers do
+// their own exact filtering.
+func (g *Graph) ForNodesInBox(lo, hi geom.Point, fn func(NodeID)) {
+	kx0 := int(math.Floor(lo.X / g.idx.cell))
+	ky0 := int(math.Floor(lo.Y / g.idx.cell))
+	kx1 := int(math.Floor(hi.X / g.idx.cell))
+	ky1 := int(math.Floor(hi.Y / g.idx.cell))
+	for kx := kx0; kx <= kx1; kx++ {
+		for ky := ky0; ky <= ky1; ky++ {
+			for _, j := range g.idx.cells[[2]int{kx, ky}] {
+				fn(NodeID(j))
+			}
+		}
 	}
-	return total / 2
 }
 
 // Connected reports whether the graph is connected (true for n ≤ 1).
@@ -115,7 +149,7 @@ func (g *Graph) Component(start NodeID) []NodeID {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if !seen[w] {
 				seen[w] = true
 				queue = append(queue, w)
@@ -156,7 +190,7 @@ func (g *Graph) HopDistances(start NodeID) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
@@ -177,7 +211,7 @@ func (g *Graph) KHopNeighborhood(v NodeID, k int) []NodeID {
 	for hop := 0; hop < k; hop++ {
 		var next []NodeID
 		for _, u := range frontier {
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if !seen[w] {
 					seen[w] = true
 					next = append(next, w)
@@ -238,7 +272,7 @@ func (g *Graph) dijkstra(s, target NodeID) ([]float64, []NodeID) {
 			break
 		}
 		pv := g.pts[item.v]
-		for _, w := range g.adj[item.v] {
+		for _, w := range g.Neighbors(item.v) {
 			nd := item.d + pv.Dist(g.pts[w])
 			if nd < dist[w] {
 				dist[w] = nd

@@ -112,6 +112,44 @@ func JitteredGrid(spacing, w, h float64, radius float64, obstacles [][]geom.Poin
 	}, nil
 }
 
+// BorderedGrid is JitteredGrid with exact (unjittered) points along the
+// domain boundary. Jittered boundary points bulge in and out of the convex
+// hull by the jitter amplitude, so the hull bridges the inward ones and the
+// sliver faces behind those bridges register as radio holes — Θ(√n) of them,
+// growing with the perimeter. Keeping the border exact makes the hull
+// coincide with the grid boundary, so the only holes are the obstacle
+// cut-outs; the interior keeps the jitter that breaks cocircular grid
+// degeneracies. Used by the large-n scale benchmarks, where hole count must
+// stay fixed while n sweeps orders of magnitude.
+func BorderedGrid(spacing, w, h float64, radius float64, obstacles [][]geom.Point) (*Scenario, error) {
+	var pts []geom.Point
+	margin := radius * 0.05
+	for x := 0.0; x <= w+1e-9; x += spacing {
+		for y := 0.0; y <= h+1e-9; y += spacing {
+			p := geom.Pt(x, y)
+			if x > 0 && y > 0 && x < w-spacing/2 && y < h-spacing/2 {
+				p = geom.Pt(x+1e-4*math.Sin(13*x+7*y), y+1e-4*math.Cos(11*x-5*y))
+			}
+			if insideAnyObstacle(p, obstacles, margin) {
+				continue
+			}
+			pts = append(pts, p)
+		}
+	}
+	g := udg.Build(pts, radius)
+	if !g.Connected() {
+		return nil, fmt.Errorf("workload: bordered grid disconnected (spacing=%.2f)", spacing)
+	}
+	return &Scenario{
+		Name:      "bordered-grid",
+		Points:    pts,
+		Radius:    radius,
+		Obstacles: obstacles,
+		Width:     w,
+		Height:    h,
+	}, nil
+}
+
 // Rect returns a rectangle polygon (CCW).
 func Rect(x, y, w, h float64) []geom.Point {
 	return []geom.Point{
