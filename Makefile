@@ -1,6 +1,6 @@
 # Tier-1 verification (referenced from ROADMAP.md): vet + build + full test
 # suite + a race-detector pass over the packages with concurrent query paths.
-.PHONY: tier1 vet build test race bench bench-scale ci
+.PHONY: tier1 vet build test race bench bench-scale bench-serve ci
 
 tier1: vet build test race
 
@@ -18,10 +18,12 @@ test:
 # parallel stepping, the tracer takes concurrent emits from the worker
 # pool, churn repair patches the shared triangulation between engine
 # batches, the hole abstraction backends are read concurrently by every
-# routing worker, and the mem arenas/mark sets back the router's pooled
-# corridor scratch; keep all seven packages race-clean.
+# routing worker, the mem arenas/mark sets back the router's pooled
+# corridor scratch, and the serve layer mixes live churn repair with
+# in-flight queries and concurrent scrapes; keep all eight packages
+# race-clean.
 race:
-	go test -race ./internal/abstraction/... ./internal/core/... ./internal/delaunay/... ./internal/mem/... ./internal/routing/... ./internal/sim/... ./internal/trace/...
+	go test -race ./internal/abstraction/... ./internal/core/... ./internal/delaunay/... ./internal/mem/... ./internal/routing/... ./internal/serve/... ./internal/sim/... ./internal/trace/...
 
 # Benchmarks stream through cmd/benchjson, which passes the benchstat-friendly
 # text through unchanged and archives a JSON summary for CI artifacts. -merge
@@ -35,5 +37,12 @@ bench:
 # the measurement. The 10^6 leg needs ~8 GB RSS and several minutes.
 bench-scale:
 	HYBRIDROUTE_SCALE=1 go test -bench='BenchmarkScale' -benchmem -benchtime=1x -timeout 60m -run '^$$' | go run ./cmd/benchjson -merge -o BENCH_results.json
+
+# Sustained serve-mode throughput: open-loop arrivals at three offered rates
+# against the long-running server, reporting p50/p99 serving latency, achieved
+# qps and the admission shed rate. -benchtime=1x — one multi-second window per
+# rate is the measurement.
+bench-serve:
+	go test -bench='BenchmarkServeSustained' -benchtime=1x -timeout 20m -run '^$$' | go run ./cmd/benchjson -merge -o BENCH_results.json
 
 ci: tier1 bench

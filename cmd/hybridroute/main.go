@@ -12,28 +12,42 @@
 // breakdown and competitive ratio, and writes the aggregated metrics plus the
 // sample report as JSON to the given file.
 //
+// With -serve the process skips the one-shot query batch and instead runs the
+// preprocessed network as a long-running query service (internal/serve): an
+// HTTP/JSON API on -addr with bounded-queue admission control, live Prometheus
+// /metrics, optional streaming JSON export (-serve-export), and — when -churn
+// is set — a live crash/recover schedule applied while traffic is served.
+// SIGINT/SIGTERM drains gracefully.
+//
 // Usage:
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze|grid]
 //	            [-abstraction hull|bbox] [-batch] [-workers 0] [-cache 4096]
 //	            [-loss 0.05] [-crash 5] [-churn 4] [-retries 3] [-lossaware]
 //	            [-trace FILE] [-pprof FILE]
+//	            [-serve] [-addr :8080] [-serve-export FILE]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 	"time"
 
+	"hybridroute/internal/abstraction"
 	"hybridroute/internal/core"
 	"hybridroute/internal/geom"
+	"hybridroute/internal/serve"
 	"hybridroute/internal/sim"
 	"hybridroute/internal/stats"
 	"hybridroute/internal/trace"
@@ -59,13 +73,22 @@ func main() {
 	traceFile := flag.String("trace", "", "record stack-wide trace events; write metrics + a traced sample query as JSON to this file")
 	pprofFile := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	static := flag.Bool("static", false, "build the network with the simulator-free static pipeline (identical routing state, no protocol rounds; enables much larger -n)")
+	serveMode := flag.Bool("serve", false, "run as a long-running query service (HTTP/JSON API + /metrics) instead of a one-shot batch")
+	addr := flag.String("addr", ":8080", "serve mode: HTTP listen address")
+	serveExport := flag.String("serve-export", "", "serve mode: append OTLP-style JSON metric batches to this file")
 	flag.Parse()
 
 	if err := validateFlags(*loss, *crash, *churn, *retries, *lossAware); err != nil {
 		log.Fatalf("flags: %v", err)
 	}
-	if *static && (*loss > 0 || *crash > 0 || *churn > 0 || *traceFile != "") {
+	if err := validateNameFlags(*scenario, *router, *abstraction); err != nil {
+		log.Fatalf("flags: %v", err)
+	}
+	if *static && (*loss > 0 || *crash > 0 || (*churn > 0 && !*serveMode) || *traceFile != "") {
 		log.Fatal("flags: -static builds no simulator; -loss/-crash/-churn/-trace need the distributed pipeline")
+	}
+	if err := validateServeFlags(*serveMode, *static, *batch, *churn, *loss, *crash, *traceFile, *router); err != nil {
+		log.Fatalf("flags: %v", err)
 	}
 	stopProfile := func() {}
 	if *pprofFile != "" {
@@ -117,6 +140,13 @@ func main() {
 		r.StorageHull, r.StorageBoundary, r.StorageOther, r.Abstraction)
 	if r.HullsIntersect {
 		fmt.Println("WARNING: hole hulls intersect; the paper's competitiveness assumption is violated")
+	}
+
+	if *serveMode {
+		if err := runServe(nw, *addr, *serveExport, *workers, *cacheSize, *churn, *seed); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		return
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 99))
@@ -215,6 +245,129 @@ func validateFlags(loss float64, crash, churn, retries int, lossAware bool) erro
 	if lossAware && loss == 0 && crash == 0 && churn == 0 {
 		return fmt.Errorf("-lossaware needs a fault-injected delivery run: set -loss, -crash and/or -churn")
 	}
+	return nil
+}
+
+// validateNameFlags rejects unknown enum-valued flags up front. These used to
+// be accepted silently: an unknown -scenario fell through to uniform, an
+// unknown -router fell through to hull, and an unknown -abstraction only
+// failed deep inside preprocessing — so a typo like -scenario=mase ran the
+// wrong experiment without a word.
+func validateNameFlags(scenario, router, abs string) error {
+	switch scenario {
+	case "uniform", "city", "maze", "grid":
+	default:
+		return fmt.Errorf("unknown -scenario %q (want uniform, city, maze or grid)", scenario)
+	}
+	switch router {
+	case "hull", "visibility":
+	default:
+		return fmt.Errorf("unknown -router %q (want hull or visibility)", router)
+	}
+	if abs != "" {
+		known := false
+		for _, name := range abstraction.Names() {
+			if abs == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown -abstraction %q (want one of %v)", abs, abstraction.Names())
+		}
+	}
+	return nil
+}
+
+// validateServeFlags rejects serve-mode combinations whose one-shot semantics
+// do not carry over, instead of silently ignoring the flag.
+func validateServeFlags(serveMode, static, batch bool, churn int, loss float64, crash int, traceFile, router string) error {
+	if !serveMode {
+		return nil
+	}
+	if batch {
+		return fmt.Errorf("-serve already routes through the batch engine; drop -batch")
+	}
+	if static && churn > 0 {
+		return fmt.Errorf("-serve with -churn needs the simulator pipeline; drop -static")
+	}
+	if loss > 0 || crash > 0 {
+		return fmt.Errorf("-loss/-crash configure the one-shot delivery run; serve mode supports live churn only (-churn)")
+	}
+	if traceFile != "" {
+		return fmt.Errorf("-trace writes a post-run dump; serve mode streams metrics instead (use -serve-export)")
+	}
+	if router != "hull" {
+		return fmt.Errorf("-serve supports the hull router only (got -router %q)", router)
+	}
+	return nil
+}
+
+// runServe runs the preprocessed network as a long-running query service until
+// SIGINT/SIGTERM, then drains. churn > 0 schedules that many live
+// crash+recover cycles (one crash every 15s, recovery 5s later) applied while
+// traffic is served.
+func runServe(nw *core.Network, addr, exportPath string, workers, cacheSize, churn int, seed int64) error {
+	tracer := trace.New(0)
+	nw.SetTracer(tracer)
+	eng := core.NewEngine(nw, core.EngineConfig{Workers: workers, CacheSize: cacheSize})
+	eng.SetTracer(tracer)
+
+	cfg := serve.Config{Tracer: tracer}
+	if exportPath != "" {
+		f, err := os.OpenFile(exportPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Export = f
+	}
+	if churn > 0 {
+		rng := rand.New(rand.NewSource(seed + 7))
+		for i := 0; i < churn; i++ {
+			v := sim.NodeID(rng.Intn(nw.G.N()))
+			at := time.Duration(i+1) * 15 * time.Second
+			cfg.Churn = append(cfg.Churn,
+				serve.ChurnEvent{After: at, Node: v},
+				serve.ChurnEvent{After: at + 5*time.Second, Node: v, Up: true})
+		}
+	}
+	srv, err := serve.New(eng, cfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("\nserving on %s (POST /route, GET /metrics, /healthz, /stats); %d live churn cycles scheduled\n",
+		addr, churn)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("received %v, draining\n", sig)
+	case err := <-errCh:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := srv.ServerStats()
+	fmt.Printf("drained: accepted %d, completed %d, shed %d (full) + %d (fairness), expired %d, churn events %d, topology generation %d\n",
+		st.Accepted, st.Completed, st.ShedFull, st.ShedFair, st.Expired, st.ChurnEvents, st.TopoGeneration)
 	return nil
 }
 

@@ -49,3 +49,76 @@ func TestValidateFlags(t *testing.T) {
 		})
 	}
 }
+
+// TestValidateNameFlags pins the fail-fast behaviour for the enum flags that
+// used to be accepted silently: an unknown -scenario or -router fell through
+// to the default case, and an unknown -abstraction only failed at preprocess.
+func TestValidateNameFlags(t *testing.T) {
+	cases := []struct {
+		name                  string
+		scenario, router, abs string
+		wantErr               string
+	}{
+		{name: "defaults", scenario: "uniform", router: "hull"},
+		{name: "all named", scenario: "maze", router: "visibility", abs: "bbox"},
+		{name: "grid hull abstraction", scenario: "grid", router: "hull", abs: "hull"},
+		{name: "scenario typo", scenario: "mase", router: "hull", wantErr: "-scenario"},
+		{name: "empty scenario", scenario: "", router: "hull", wantErr: "-scenario"},
+		{name: "router typo", scenario: "uniform", router: "hulls", wantErr: "-router"},
+		{name: "abstraction typo", scenario: "uniform", router: "hull", abs: "box", wantErr: "-abstraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateNameFlags(tc.scenario, tc.router, tc.abs)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateServeFlags pins the serve-mode combination checks.
+func TestValidateServeFlags(t *testing.T) {
+	cases := []struct {
+		name          string
+		serve, static bool
+		batch         bool
+		churn         int
+		loss          float64
+		crash         int
+		traceFile     string
+		router        string
+		wantErr       string
+	}{
+		{name: "off ignores everything", serve: false, batch: true, loss: 0.5, traceFile: "x", router: "weird"},
+		{name: "plain serve", serve: true, router: "hull"},
+		{name: "serve with churn", serve: true, churn: 3, router: "hull"},
+		{name: "serve static no churn", serve: true, static: true, router: "hull"},
+		{name: "serve batch", serve: true, batch: true, router: "hull", wantErr: "-batch"},
+		{name: "serve static churn", serve: true, static: true, churn: 1, router: "hull", wantErr: "-static"},
+		{name: "serve loss", serve: true, loss: 0.1, router: "hull", wantErr: "-loss"},
+		{name: "serve crash", serve: true, crash: 2, router: "hull", wantErr: "-loss/-crash"},
+		{name: "serve trace", serve: true, traceFile: "out.json", router: "hull", wantErr: "-serve-export"},
+		{name: "serve visibility", serve: true, router: "visibility", wantErr: "-router"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateServeFlags(tc.serve, tc.static, tc.batch, tc.churn, tc.loss, tc.crash, tc.traceFile, tc.router)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

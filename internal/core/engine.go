@@ -72,6 +72,12 @@ type Engine struct {
 	// engine emits cache hit/miss/evict events per plan-fragment lookup and
 	// worker-queue depth events while draining a batch.
 	tracer *trace.Tracer
+	// inflight counts Route calls currently executing, across every caller
+	// (batch workers and direct Route calls alike). It is the engine's
+	// contribution to the queue-depth signal: outstanding work is what is
+	// still unclaimed plus what is in flight, and a serving layer polls it to
+	// know when the engine has quiesced during a drain.
+	inflight atomic.Int64
 }
 
 // routeScratch is the pooled per-call working memory of a warm-cache Route.
@@ -118,6 +124,11 @@ func (e *Engine) Network() *Network { return e.nw }
 // Workers returns the effective worker pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// InFlight returns the number of Route calls currently executing. A serving
+// layer reads it as a live load signal and to confirm the engine has
+// quiesced while draining.
+func (e *Engine) InFlight() int { return int(e.inflight.Load()) }
+
 // SetTracer installs (nil: removes) the event recorder for the engine's own
 // events (cache effectiveness, worker-queue depth). It does not touch the
 // shared Network's tracer — call Network().SetTracer for transport and
@@ -133,6 +144,8 @@ func (e *Engine) label() string { return "engine" }
 // pooled arena, so the warm path performs zero per-call heap allocations
 // while the caller still receives private Path/Waypoints slices.
 func (e *Engine) Route(s, t sim.NodeID) Outcome {
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
 	k := planKey{kind: kindOutcome, abs: e.absID(), a: s, b: t, gen: e.linkGen(), topo: e.topoGen()}
 	if v, hit := e.lookup(k); hit {
 		sc := e.scratch.Get().(*routeScratch)
@@ -176,10 +189,23 @@ func (e *Engine) RouteBatch(queries []Query) []Outcome {
 				if i >= len(queries) {
 					return
 				}
-				if e.tracer != nil {
-					e.tracer.Emit(trace.Event{Kind: trace.KindQueueDepth, Value: len(queries) - i})
-				}
 				out[i] = e.Route(queries[i].S, queries[i].T)
+				if e.tracer != nil {
+					// Outstanding work after this completion: queries no
+					// worker has claimed yet plus claims still in flight.
+					// The old claim-time `len(queries) - i` always peaked at
+					// the full batch size (the first claim sees everything),
+					// so the max gauge said nothing about actual depth.
+					// Reading inflight before the claim counter keeps the
+					// sum a true point-in-time bound: this worker's query is
+					// already done, so the value is at most len(queries)-1.
+					inf := int(e.inflight.Load())
+					claimed := int(next.Load())
+					if claimed > len(queries) {
+						claimed = len(queries)
+					}
+					e.tracer.Emit(trace.Event{Kind: trace.KindQueueDepth, Value: len(queries) - claimed + inf})
+				}
 			}
 		}()
 	}

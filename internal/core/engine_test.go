@@ -8,6 +8,7 @@ import (
 
 	"hybridroute/internal/geom"
 	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
 	"hybridroute/internal/workload"
 )
 
@@ -142,6 +143,55 @@ func TestEngineStatsAggregatesShards(t *testing.T) {
 	}
 	if got.Entries > 8 {
 		t.Errorf("entries %d exceed total cache bound 8", got.Entries)
+	}
+}
+
+// TestQueueDepthReflectsOutstandingWork pins the queue-depth bugfix: the old
+// claim-time emission of `len(queries) - i` made the first claim record the
+// full batch size, so hybridroute_engine_queue_depth_max was always exactly
+// the batch size — useless as a backpressure signal. Depth is now emitted
+// when a worker finishes a query, as genuinely outstanding work (unclaimed
+// + in-flight), which is provably at most len(queries)-1: the emitting
+// worker's own query is already done.
+func TestQueueDepthReflectsOutstandingWork(t *testing.T) {
+	nw := prepScenario(t, 0.55, 8, 8, 1.8)
+	rng := rand.New(rand.NewSource(44))
+	queries := samplePairsWithRepeats(rng, nw.G.N(), 64)
+	eng := NewEngine(nw, EngineConfig{Workers: 4, CacheSize: 1024})
+	tr := trace.New(0)
+	eng.SetTracer(tr)
+	eng.RouteBatch(queries)
+
+	depths := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind != trace.KindQueueDepth {
+			continue
+		}
+		depths++
+		if ev.Value >= len(queries) {
+			t.Fatalf("queue depth event %d >= batch size %d: still the claim-time batch counter", ev.Value, len(queries))
+		}
+		if ev.Value < 0 {
+			t.Fatalf("negative queue depth %d", ev.Value)
+		}
+	}
+	if depths != len(queries) {
+		t.Fatalf("expected one queue-depth event per completed query (%d), got %d", len(queries), depths)
+	}
+
+	reg := trace.NewRegistry()
+	reg.MergeEvents(tr.Events())
+	maxDepth := reg.Gauges()["hybridroute_engine_queue_depth_max"]
+	if maxDepth >= float64(len(queries)) {
+		t.Fatalf("queue depth max gauge %g must be less than batch size %d", maxDepth, len(queries))
+	}
+	// The earliest completion still sees nearly the whole batch outstanding:
+	// at that instant at most `workers` queries have been claimed.
+	if maxDepth < float64(len(queries)-eng.Workers()) {
+		t.Fatalf("queue depth max gauge %g implausibly low for batch %d / %d workers", maxDepth, len(queries), eng.Workers())
+	}
+	if eng.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after the batch drained, want 0", eng.InFlight())
 	}
 }
 

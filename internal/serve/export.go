@@ -1,0 +1,61 @@
+// Streaming observability export: the serve-mode replacement for the
+// post-run metrics dump. Every ExportInterval the server writes one
+// self-contained JSON line (OTLP-style: a resource block, a unix timestamp,
+// the consistent metrics snapshot, and the trace events drained since the
+// previous batch) to the configured writer. Consumers tail the stream; no
+// state accumulates in memory beyond one batch, so a server can run for days
+// without the old in-memory ring filling up.
+
+package serve
+
+import (
+	"encoding/json"
+	"time"
+
+	"hybridroute/internal/trace"
+)
+
+// exportBatch is one exported JSON line.
+type exportBatch struct {
+	Resource      map[string]string  `json:"resource"`
+	TSUnixMS      int64              `json:"ts_unix_ms"`
+	Counters      map[string]uint64  `json:"counters,omitempty"`
+	Gauges        map[string]float64 `json:"gauges,omitempty"`
+	Events        []trace.Event      `json:"events,omitempty"`
+	EventsDropped uint64             `json:"events_dropped,omitempty"`
+}
+
+// maybeExport writes one batch when the interval elapsed (or force is set and
+// there is anything at all to say). Counters and gauges come from a single
+// registry Snapshot, so a batch is internally consistent the same way a
+// /metrics scrape is.
+func (s *Server) maybeExport(force bool) {
+	if s.cfg.Export == nil {
+		return
+	}
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+	now := time.Now()
+	if !force && now.Sub(s.lastExport) < s.cfg.ExportInterval {
+		return
+	}
+	s.lastExport = now
+	counters, gauges := s.reg.Snapshot()
+	batch := exportBatch{
+		Resource: map[string]string{"service.name": "hybridroute-serve"},
+		TSUnixMS: now.UnixMilli(),
+		Counters: counters,
+		Gauges:   gauges,
+		Events:   s.exportEvents,
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		batch.EventsDropped = tr.Dropped()
+	}
+	s.exportEvents = nil
+	buf, err := json.Marshal(batch)
+	if err != nil {
+		return // a malformed batch must never take the server down
+	}
+	buf = append(buf, '\n')
+	_, _ = s.cfg.Export.Write(buf)
+}

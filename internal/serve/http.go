@@ -1,0 +1,149 @@
+// The HTTP/JSON face of the server: POST /route answers queries, GET /metrics
+// serves the live registry in Prometheus text format, GET /healthz and
+// GET /stats expose liveness and the admission accounting. Backpressure is
+// explicit on the wire: a shed admission is 429 Too Many Requests with a
+// Retry-After hint, a draining server is 503, an expired deadline is 504.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"hybridroute/internal/sim"
+)
+
+// routeRequest is the POST /route body.
+type routeRequest struct {
+	S          int    `json:"s"`
+	T          int    `json:"t"`
+	Source     string `json:"source,omitempty"`
+	DeadlineMS int    `json:"deadline_ms,omitempty"`
+	Deliver    bool   `json:"deliver,omitempty"`
+}
+
+// routeResponse is the POST /route answer.
+type routeResponse struct {
+	Reached      bool   `json:"reached"`
+	Case         int    `json:"case"`
+	Path         []int  `json:"path,omitempty"`
+	Hops         int    `json:"hops"`
+	PlanFallback bool   `json:"plan_fallback,omitempty"`
+	DeliveredSim bool   `json:"delivered_sim,omitempty"`
+	Retransmits  int    `json:"retransmits,omitempty"`
+	QueuedUS     int64  `json:"queued_us"`
+	LatencyUS    int64  `json:"latency_us"`
+	Error        string `json:"error,omitempty"`
+}
+
+// Handler returns the server's HTTP API. The caller owns the http.Server
+// lifecycle; Shutdown the serve.Server first so in-flight HTTP requests
+// drain with the queue.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body routeRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := s.nw.G.N()
+	if body.S < 0 || body.S >= n || body.T < 0 || body.T >= n {
+		http.Error(w, "node id out of range", http.StatusBadRequest)
+		return
+	}
+	req := Request{
+		S:       sim.NodeID(body.S),
+		T:       sim.NodeID(body.T),
+		Source:  body.Source,
+		Deliver: body.Deliver,
+	}
+	if body.DeadlineMS > 0 {
+		req.Deadline = time.Now().Add(time.Duration(body.DeadlineMS) * time.Millisecond)
+	}
+	resp, err := s.Do(req)
+	if err != nil {
+		writeShed(w, err)
+		return
+	}
+	out := routeResponse{
+		Reached:      resp.Outcome.Reached,
+		Case:         resp.Outcome.Case,
+		Hops:         maxInt(0, len(resp.Outcome.Path)-1),
+		PlanFallback: resp.Outcome.PlanFallback,
+		QueuedUS:     resp.Queued.Microseconds(),
+		LatencyUS:    resp.Latency.Microseconds(),
+	}
+	for _, v := range resp.Outcome.Path {
+		out.Path = append(out.Path, int(v))
+	}
+	if resp.Transport != nil {
+		out.DeliveredSim = resp.Transport.DeliveredSim
+		out.Retransmits = resp.Transport.Retransmits
+	}
+	status := http.StatusOK
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+		switch {
+		case errors.Is(resp.Err, ErrDeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		default:
+			status = http.StatusBadGateway
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// writeShed maps an admission error onto its backpressure status code.
+func writeShed(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSourceShare):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNotStarted):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrDeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Fold on demand so a scrape always sees current counters, not the ones
+	// from up to MetricsInterval ago.
+	s.fold()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.reg.PrometheusText()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admMu.Lock()
+	draining := s.draining
+	s.admMu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.ServerStats())
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postRoute(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/route", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestHTTPAPI exercises the wire contract: a routed answer, input validation,
+// method discipline, explicit 429 backpressure with Retry-After, the
+// Prometheus scrape, health, and stats.
+func TestHTTPAPI(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 1, QueueSize: 2, MaxSourceFraction: 1})
+	g := newGate()
+	srv.workerGate = g.hook()
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Release the gate even on a failure path, or ts.Close would hang on
+	// handlers parked behind it.
+	released := false
+	defer func() {
+		if !released {
+			close(g.release)
+		}
+	}()
+
+	// Backpressure first, while the worker is parked: 1 in flight + 2 queued
+	// saturates the server, the next POST is 429 with a Retry-After hint.
+	// Distinct sources so only the queue bound binds (sourceCap is 2 here).
+	for _, src := range []string{"a", "b", "c"} {
+		src := src
+		go func() { _, _ = postRoute(t, ts, `{"s":0,"t":5,"source":"`+src+`"}`) }()
+	}
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		for start := time.Now(); !cond(); {
+			if time.Since(start) > 5*time.Second {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return srv.ServerStats().Accepted == 3 }, "3 accepted requests")
+	resp, _ := postRoute(t, ts, `{"s":0,"t":5,"source":"y"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST /route = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After hint")
+	}
+	released = true
+	close(g.release)
+
+	// A served request answers with the route.
+	resp, body := postRoute(t, ts, `{"s":0,"t":`+itoa(nw.G.N()-1)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /route = %d: %s", resp.StatusCode, body)
+	}
+	var rr routeResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Reached || rr.Hops < 1 || len(rr.Path) != rr.Hops+1 {
+		t.Fatalf("route answer implausible: %+v", rr)
+	}
+
+	// Validation and method discipline.
+	if resp, body = postRoute(t, ts, `{"s":-1,"t":2}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range node = %d (%s), want 400", resp.StatusCode, body)
+	}
+	if resp, body = postRoute(t, ts, `{"s":0,"t":999999}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge node id = %d (%s), want 400", resp.StatusCode, body)
+	}
+	if resp, body = postRoute(t, ts, `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body = %d (%s), want 400", resp.StatusCode, body)
+	}
+	getResp, err := http.Get(ts.URL + "/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /route = %d, want 405", getResp.StatusCode)
+	}
+
+	// An expired deadline sheds with 504.
+	if resp, body = postRoute(t, ts, `{"s":0,"t":5,"deadline_ms":-1}`); resp.StatusCode != http.StatusOK {
+		// deadline_ms <= 0 means no deadline; this must serve normally.
+		t.Fatalf("deadline_ms=-1 = %d (%s), want 200 (no deadline)", resp.StatusCode, body)
+	}
+
+	// /metrics scrape folds on demand and carries the serve counters.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mBuf bytes.Buffer
+	if _, err := mBuf.ReadFrom(mResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mResp.Body.Close()
+	metrics := mBuf.String()
+	if mResp.StatusCode != http.StatusOK || !strings.Contains(mResp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("GET /metrics = %d %q", mResp.StatusCode, mResp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"hybridroute_serve_accepted_total",
+		"hybridroute_serve_completed_total",
+		"hybridroute_serve_shed_full_total",
+		"hybridroute_serve_queue_depth_max",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+
+	// /healthz is ok while serving.
+	hResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", hResp.StatusCode)
+	}
+
+	// /stats round-trips the accounting.
+	sResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(sResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sResp.Body.Close()
+	if st.Accepted == 0 || st.ShedFull != 1 {
+		t.Fatalf("/stats accounting off: %+v", st)
+	}
+
+	// Draining: /healthz flips to 503 and new routes are 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hResp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz while draining = %d, want 503", hResp.StatusCode)
+	}
+	if resp, _ = postRoute(t, ts, `{"s":0,"t":5}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /route while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridroute/internal/core"
+	"hybridroute/internal/geom"
+	"hybridroute/internal/sim"
+	"hybridroute/internal/trace"
+	"hybridroute/internal/workload"
+)
+
+// testNetwork preprocesses a jittered grid around a star hole (non-convex,
+// so routes detour and churn repair has geometry to patch) through the
+// simulator pipeline, so live churn is available.
+func testNetwork(t testing.TB) *core.Network {
+	t.Helper()
+	star := workload.StarPolygon(geom.Pt(5, 5), 2.6, 1.1, 5, 0)
+	sc, err := workload.JitteredGrid(0.5, 10, 10, 1, [][]geom.Point{star})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := core.Preprocess(sc.Build(), core.Config{Strict: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func newTestServer(t testing.TB, nw *core.Network, cfg Config) *Server {
+	t.Helper()
+	eng := core.NewEngine(nw, core.EngineConfig{Workers: 4, CacheSize: 1024})
+	srv, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// pathHas reports whether v appears on the outcome path.
+func pathHas(path []sim.NodeID, v sim.NodeID) bool {
+	for _, u := range path {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServeIntegration is the serve-mode contract end to end: continuous
+// traffic, one live churn event under that traffic, recovery, graceful
+// drain. Every accepted query is answered, no query admitted after the
+// crash ever routes through the dead node (the topology-generation cache
+// fence), and the counters balance after shutdown.
+func TestServeIntegration(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 4, QueueSize: 256})
+	srv.Start()
+
+	// A probe pair whose route crosses the network, and its mid-path victim.
+	probeS, probeT := sim.NodeID(0), sim.NodeID(nw.G.N()-1)
+	base := nw.Route(probeS, probeT)
+	if !base.Reached || len(base.Path) < 4 {
+		t.Fatalf("probe pair %d->%d unusable: reached=%v len=%d", probeS, probeT, base.Reached, len(base.Path))
+	}
+	victim := base.Path[len(base.Path)/2]
+
+	pairs := [][2]sim.NodeID{{probeS, probeT}}
+	for i := 1; i < 16; i++ {
+		s := sim.NodeID((i * 37) % nw.G.N())
+		d := sim.NodeID((i*61 + 13) % nw.G.N())
+		if s != d && s != victim && d != victim {
+			pairs = append(pairs, [2]sim.NodeID{s, d})
+		}
+	}
+	firePhase := func(n int, check func(Response)) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			p := pairs[i%len(pairs)]
+			wg.Add(1)
+			err := srv.Submit(Request{S: p[0], T: p[1], Source: "it"}, func(r Response) {
+				defer wg.Done()
+				if r.Err != nil {
+					t.Errorf("accepted query %d->%d answered with error: %v", p[0], p[1], r.Err)
+				}
+				if !r.Outcome.Reached {
+					t.Errorf("accepted query %d->%d not reached", p[0], p[1])
+				}
+				if check != nil {
+					check(r)
+				}
+			})
+			if err != nil {
+				wg.Done()
+				t.Fatalf("submit shed unexpectedly: %v", err)
+			}
+		}
+		wg.Wait()
+	}
+
+	gen0 := nw.TopoGeneration()
+	firePhase(120, nil)
+
+	// Live churn under traffic: crash the mid-path victim, keep serving.
+	if err := srv.Churn(victim, false); err != nil {
+		t.Fatalf("churn crash: %v", err)
+	}
+	if got := nw.TopoGeneration(); got != gen0+1 {
+		t.Fatalf("topology generation %d after crash, want %d", got, gen0+1)
+	}
+	// Every query admitted after the repair must plan on the patched
+	// topology: the dead node appears on no path (a stale cached plan
+	// through it would be a misroute into a crashed node).
+	firePhase(120, func(r Response) {
+		if pathHas(r.Outcome.Path, victim) {
+			t.Errorf("post-churn route crosses dead node %d: %v", victim, r.Outcome.Path)
+		}
+		if pathHas(r.Outcome.Waypoints, victim) {
+			t.Errorf("post-churn waypoints cross dead node %d", victim)
+		}
+	})
+
+	if err := srv.Churn(victim, true); err != nil {
+		t.Fatalf("churn recover: %v", err)
+	}
+	firePhase(60, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := srv.ServerStats()
+	if st.Accepted != 300 || st.Completed != st.Accepted {
+		t.Fatalf("drain guarantee broken: accepted %d, completed %d", st.Accepted, st.Completed)
+	}
+	if st.ChurnEvents != 2 {
+		t.Fatalf("churn events = %d, want 2", st.ChurnEvents)
+	}
+	if st.TopoGeneration != gen0+2 {
+		t.Fatalf("topology generation = %d, want %d", st.TopoGeneration, gen0+2)
+	}
+	if _, err := srv.Do(Request{S: 0, T: 1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after shutdown = %v, want ErrDraining", err)
+	}
+	c := srv.Registry().Counters()
+	if c["hybridroute_serve_accepted_total"] != 300 || c["hybridroute_serve_completed_total"] != 300 {
+		t.Fatalf("registry counters: %v", c)
+	}
+}
+
+// gate wires the worker test hook: each dequeue parks on release after
+// signalling entered, so admission states are reached deterministically.
+type gate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGate() *gate {
+	return &gate{entered: make(chan struct{}, 1024), release: make(chan struct{})}
+}
+
+func (g *gate) hook() func() {
+	return func() {
+		g.entered <- struct{}{}
+		<-g.release
+	}
+}
+
+// TestAdmissionBackpressure pins the bounded queue: with the single worker
+// parked, QueueSize+1 admitted requests saturate the server (one in flight,
+// QueueSize queued) and the next submit is shed with ErrQueueFull — and then
+// answered work resumes when the worker unblocks, losing nothing.
+func TestAdmissionBackpressure(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 1, QueueSize: 4, MaxSourceFraction: 1})
+	g := newGate()
+	srv.workerGate = g.hook()
+	srv.Start()
+
+	var done atomic.Int64
+	fn := func(Response) { done.Add(1) }
+	// Distinct sources per request so only the queue bound binds here (the
+	// in-flight request still holds its fair-share slot until served).
+	submit := func(src string) error { return srv.Submit(Request{S: 0, T: 5, Source: src}, fn) }
+
+	if err := submit("s0"); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered // worker parked holding the first request
+	for i := 0; i < 4; i++ {
+		if err := submit("s" + string(rune('1'+i))); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if err := submit("s9"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit = %v, want ErrQueueFull", err)
+	}
+	if st := srv.ServerStats(); st.ShedFull != 1 || st.Accepted != 5 {
+		t.Fatalf("stats after shed: %+v", st)
+	}
+
+	close(g.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != 5 {
+		t.Fatalf("answered %d of 5 accepted requests", got)
+	}
+}
+
+// TestPerSourceFairness pins the fair-share bound: with a 0.25 fraction of
+// an 8-deep queue one source may hold 2 slots; its third submit sheds with
+// ErrSourceShare while a second source is still admitted.
+func TestPerSourceFairness(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 1, QueueSize: 8, MaxSourceFraction: 0.25})
+	g := newGate()
+	srv.workerGate = g.hook()
+	srv.Start()
+
+	sub := func(src string) error { return srv.Submit(Request{S: 0, T: 5, Source: src}, nil) }
+	if err := sub("a"); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered // first "a" is in flight but still holds its share slot
+	if err := sub("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub("a"); !errors.Is(err, ErrSourceShare) {
+		t.Fatalf("third submit from one source = %v, want ErrSourceShare", err)
+	}
+	if err := sub("b"); err != nil {
+		t.Fatalf("other source must still be admitted: %v", err)
+	}
+	if st := srv.ServerStats(); st.ShedFair != 1 {
+		t.Fatalf("shed fairness = %d, want 1", st.ShedFair)
+	}
+	close(g.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineShedding pins both deadline paths: an already-expired request
+// sheds at admission; a request whose deadline lapses while queued is
+// answered with ErrDeadlineExceeded instead of being routed.
+func TestDeadlineShedding(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 1, QueueSize: 8})
+	g := newGate()
+	srv.workerGate = g.hook()
+	srv.Start()
+
+	if err := srv.Submit(Request{S: 0, T: 5, Deadline: time.Now().Add(-time.Millisecond)}, nil); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired-at-admission submit = %v, want ErrDeadlineExceeded", err)
+	}
+
+	// Park the worker, then let a queued request's deadline lapse.
+	if err := srv.Submit(Request{S: 0, T: 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered
+	got := make(chan Response, 1)
+	if err := srv.Submit(Request{S: 0, T: 5, Deadline: time.Now().Add(20 * time.Millisecond)},
+		func(r Response) { got <- r }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	close(g.release)
+	r := <-got
+	if !errors.Is(r.Err, ErrDeadlineExceeded) {
+		t.Fatalf("lapsed-in-queue response err = %v, want ErrDeadlineExceeded", r.Err)
+	}
+	if st := srv.ServerStats(); st.Expired != 2 {
+		t.Fatalf("expired = %d, want 2", st.Expired)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliverPropagatesDeadline runs a Deliver request through the reliable
+// transport and pins that it physically delivers on the simulator.
+func TestDeliverPropagatesDeadline(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 2, QueueSize: 16})
+	srv.Start()
+	resp, err := srv.Do(Request{S: 0, T: sim.NodeID(nw.G.N() - 1), Deliver: true,
+		Deadline: time.Now().Add(5 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != nil {
+		t.Fatalf("deliver answered with error: %v", resp.Err)
+	}
+	if resp.Transport == nil || !resp.Transport.DeliveredSim {
+		t.Fatalf("payload did not deliver on the simulator: %+v", resp.Transport)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExportStream pins the streaming observability path: with a tracer on
+// the engine and an export writer configured, shutdown flushes at least one
+// OTLP-style JSON line whose counters match the registry and whose events
+// carry the drained cache activity.
+func TestExportStream(t *testing.T) {
+	nw := testNetwork(t)
+	var buf bytes.Buffer
+	tr := trace.New(0)
+	eng := core.NewEngine(nw, core.EngineConfig{Workers: 2, CacheSize: 512})
+	eng.SetTracer(tr)
+	srv, err := New(eng, Config{Workers: 2, QueueSize: 32, Tracer: tr, Export: &buf,
+		MetricsInterval: 20 * time.Millisecond, ExportInterval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	for i := 0; i < 20; i++ {
+		if _, err := srv.Do(Request{S: 0, T: sim.NodeID(10 + i%5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("no export batches written")
+	}
+	totalEvents := 0
+	var last exportBatch
+	for _, ln := range lines {
+		var b exportBatch
+		if err := json.Unmarshal(ln, &b); err != nil {
+			t.Fatalf("export line is not valid JSON: %v\n%s", err, ln)
+		}
+		if b.Resource["service.name"] != "hybridroute-serve" {
+			t.Fatalf("export resource = %v", b.Resource)
+		}
+		totalEvents += len(b.Events)
+		last = b
+	}
+	if last.Counters["hybridroute_serve_accepted_total"] != 20 {
+		t.Fatalf("final batch accepted counter = %d, want 20", last.Counters["hybridroute_serve_accepted_total"])
+	}
+	if totalEvents == 0 {
+		t.Fatal("no trace events streamed through the export (cache hits/misses expected)")
+	}
+	if last.Counters["hybridroute_engine_cache_misses_total"] == 0 {
+		t.Fatal("engine cache events did not fold into the exported registry")
+	}
+}
+
+// TestChurnScheduleUnderTrafficRace drives continuous traffic, a recurring
+// churn schedule and concurrent scrapes at once; under -race (make race
+// covers internal/serve) it pins that live repair, serving and scraping
+// share the network safely.
+func TestChurnScheduleUnderTrafficRace(t *testing.T) {
+	nw := testNetwork(t)
+	base := nw.Route(0, sim.NodeID(nw.G.N()-1))
+	if !base.Reached || len(base.Path) < 4 {
+		t.Fatal("probe route unusable")
+	}
+	victim := base.Path[len(base.Path)/2]
+	srv := newTestServer(t, nw, Config{
+		Workers: 4, QueueSize: 128,
+		Churn: []ChurnEvent{
+			{After: 10 * time.Millisecond, Node: victim},
+			{After: 30 * time.Millisecond, Node: victim, Up: true},
+			{After: 50 * time.Millisecond, Node: victim},
+			{After: 70 * time.Millisecond, Node: victim, Up: true},
+		},
+		MetricsInterval: 5 * time.Millisecond,
+	})
+	srv.Start()
+	stopScrape := make(chan struct{})
+	var scrapeWg sync.WaitGroup
+	scrapeWg.Add(1)
+	go func() {
+		defer scrapeWg.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+				srv.fold()
+				_ = srv.Registry().PrometheusText()
+			}
+		}
+	}()
+	deadline := time.Now().Add(120 * time.Millisecond)
+	var wg sync.WaitGroup
+	submitted := 0
+	for time.Now().Before(deadline) {
+		p := [2]sim.NodeID{sim.NodeID(submitted % nw.G.N()), sim.NodeID((submitted*7 + 3) % nw.G.N())}
+		if p[0] == p[1] {
+			submitted++
+			continue
+		}
+		wg.Add(1)
+		if err := srv.Submit(Request{S: p[0], T: p[1]}, func(Response) { wg.Done() }); err != nil {
+			wg.Done() // queue full under race scheduling: acceptable shed
+		}
+		submitted++
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.ServerStats()
+	if st.Completed != st.Accepted {
+		t.Fatalf("accepted %d != completed %d after drain", st.Accepted, st.Completed)
+	}
+	if st.ChurnEvents == 0 {
+		t.Fatal("churn schedule never fired during the traffic window")
+	}
+}

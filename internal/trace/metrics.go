@@ -49,26 +49,36 @@ func (r *Registry) MaxGauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
-// Counters returns a copy of the counter map.
-func (r *Registry) Counters() map[string]uint64 {
+// Snapshot copies both metric maps inside one critical section, so the
+// returned counters and gauges describe the same instant. Every exported view
+// (Counters, Gauges, PrometheusText, MarshalJSON) is built from this: a scrape
+// concurrent with writers must never observe, say, a delivers counter ahead of
+// the sends counter it can never exceed, which two separate lock acquisitions
+// would allow.
+func (r *Registry) Snapshot() (counters map[string]uint64, gauges map[string]float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]uint64, len(r.counters))
+	counters = make(map[string]uint64, len(r.counters))
 	for k, v := range r.counters {
-		out[k] = v
+		counters[k] = v
 	}
-	return out
+	gauges = make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	return counters, gauges
+}
+
+// Counters returns a copy of the counter map.
+func (r *Registry) Counters() map[string]uint64 {
+	counters, _ := r.Snapshot()
+	return counters
 }
 
 // Gauges returns a copy of the gauge map.
 func (r *Registry) Gauges() map[string]float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.gauges))
-	for k, v := range r.gauges {
-		out[k] = v
-	}
-	return out
+	_, gauges := r.Snapshot()
+	return gauges
 }
 
 // metricName maps an event kind to its counter name, or "" for kinds that are
@@ -112,26 +122,27 @@ func (r *Registry) MergeEvents(events []Event) {
 }
 
 // PrometheusText renders the registry in the Prometheus text exposition
-// format, families sorted by name so output is deterministic.
+// format, families sorted by name so output is deterministic. It renders one
+// Snapshot, so a scrape racing MarshalJSON on the same registry state sees the
+// same values through both views.
 func (r *Registry) PrometheusText() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	counters, gauges := r.Snapshot()
 	var b strings.Builder
-	names := make([]string, 0, len(r.counters))
-	for n := range r.counters {
+	names := make([]string, 0, len(counters))
+	for n := range counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n])
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[n])
 	}
 	names = names[:0]
-	for n := range r.gauges {
+	for n := range gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, r.gauges[n])
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n])
 	}
 	return b.String()
 }
@@ -144,7 +155,10 @@ type registryJSON struct {
 }
 
 // MarshalJSON renders {"counters": {...}, "gauges": {...}} (map keys are
-// sorted by encoding/json, so output is deterministic).
+// sorted by encoding/json, so output is deterministic). Both maps come from
+// one Snapshot — a single critical section — so a scrape concurrent with
+// writers is internally consistent.
 func (r *Registry) MarshalJSON() ([]byte, error) {
-	return json.Marshal(registryJSON{Counters: r.Counters(), Gauges: r.Gauges()})
+	counters, gauges := r.Snapshot()
+	return json.Marshal(registryJSON{Counters: counters, Gauges: gauges})
 }

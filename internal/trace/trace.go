@@ -39,7 +39,7 @@ const (
 	KindCacheHit   // plan-cache lookup hit
 	KindCacheMiss  // plan-cache lookup miss
 	KindCacheEvict // LRU eviction(s) during a store (Value = entries evicted)
-	KindQueueDepth // queries still unclaimed when a worker took one (Value = depth)
+	KindQueueDepth // outstanding queries (unclaimed + in-flight) when a worker finished one (Value = depth)
 
 	// Churn events (dynamic membership).
 	KindCrash   // a node left the network (From = node, Round = sim round)
@@ -182,6 +182,26 @@ func (t *Tracer) Since(start int) []Event {
 		return nil
 	}
 	return append([]Event(nil), t.events[start:]...)
+}
+
+// Drain returns the recorded events and clears the buffer in one step, so a
+// streaming consumer (the serve-mode exporter) can repeatedly hand batches
+// downstream without the bounded buffer ever filling up mid-run. Unlike Reset
+// the cumulative dropped count is kept: for a streaming consumer it is the
+// total number of events lost since the tracer was installed, which is what a
+// truthful exporter must report.
+func (t *Tracer) Drain() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return nil
+	}
+	out := append([]Event(nil), t.events...)
+	t.events = t.events[:0]
+	return out
 }
 
 // Reset discards all recorded events and the dropped count.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -150,6 +151,138 @@ func TestRegistryMergeAndExport(t *testing.T) {
 	}
 	if back.Counters["hybridroute_sim_drops_total"] != 1 || back.Gauges["hybridroute_engine_queue_depth_max"] != 5 {
 		t.Fatalf("registry JSON round trip = %+v", back)
+	}
+}
+
+func TestDrainReturnsAndClears(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Drain() != nil {
+		t.Fatal("nil tracer Drain returned events")
+	}
+	tr := New(2)
+	if tr.Drain() != nil {
+		t.Fatal("empty tracer Drain returned events")
+	}
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindSend, Seq: i})
+	}
+	got := tr.Drain()
+	if len(got) != 2 || got[0].Seq != 0 || got[1].Seq != 1 {
+		t.Fatalf("Drain = %+v, want the 2 buffered events", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Drain left %d events buffered", tr.Len())
+	}
+	// The cumulative dropped count survives a drain: a streaming exporter
+	// reports total loss since install, not loss since the last batch.
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped after Drain = %d, want 3", tr.Dropped())
+	}
+	// The freed buffer accepts new events up to the limit again.
+	tr.Emit(Event{Kind: KindDrop})
+	if got := tr.Drain(); len(got) != 1 || got[0].Kind != KindDrop {
+		t.Fatalf("post-drain emit lost: %+v", got)
+	}
+}
+
+// TestRegistrySnapshotConsistent pins the torn-scrape bug: the writer
+// increments a counter strictly before raising the matching gauge, so at any
+// single instant gauge <= counter. A scrape that copies counters and gauges
+// under two separate lock acquisitions (the old MarshalJSON) can observe a
+// stale counter next to a fresh gauge and violate the invariant; one
+// Snapshot critical section cannot.
+func TestRegistrySnapshotConsistent(t *testing.T) {
+	r := NewRegistry()
+	const n = 20000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= n; i++ {
+			r.Add("ops_total", 1)
+			r.SetGauge("ops_seen", float64(i))
+		}
+	}()
+	for scraped := 0; scraped < 2000; scraped++ {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back registryJSON
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if g, c := back.Gauges["ops_seen"], back.Counters["ops_total"]; g > float64(c) {
+			t.Fatalf("torn scrape: gauge ops_seen=%g ahead of counter ops_total=%d", g, c)
+		}
+	}
+	<-done
+}
+
+// TestRegistryConcurrentScrape hammers every scrape view against concurrent
+// writers; run under -race (make race covers internal/trace) it pins that
+// scraping a live registry is safe while workers emit.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Add("hybridroute_sim_sends_total", 1)
+				r.MaxGauge("hybridroute_engine_queue_depth_max", float64(i%64))
+				r.MergeEvents([]Event{{Kind: KindDeliver}, {Kind: KindQueueDepth, Value: i % 32}})
+			}
+		}(w)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := json.Marshal(r); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.PrometheusText()
+		c, g := r.Snapshot()
+		if c["hybridroute_sim_delivers_total"] > c["hybridroute_sim_sends_total"] {
+			t.Fatalf("delivers %d ahead of sends %d in one snapshot",
+				c["hybridroute_sim_delivers_total"], c["hybridroute_sim_sends_total"])
+		}
+		_ = g
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPrometheusTextMatchesJSON pins that the two export views render the
+// same snapshot data: every counter and gauge in the JSON document appears
+// with the same value in the text exposition.
+func TestPrometheusTextMatchesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a_total", 7)
+	r.Add("b_total", 2)
+	r.SetGauge("c_depth", 3.5)
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back registryJSON
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	text := r.PrometheusText()
+	for name, v := range back.Counters {
+		if !strings.Contains(text, fmt.Sprintf("%s %d", name, v)) {
+			t.Fatalf("counter %s=%d in JSON missing from text:\n%s", name, v, text)
+		}
+	}
+	for name, v := range back.Gauges {
+		if !strings.Contains(text, fmt.Sprintf("%s %g", name, v)) {
+			t.Fatalf("gauge %s=%g in JSON missing from text:\n%s", name, v, text)
+		}
 	}
 }
 
