@@ -111,6 +111,11 @@ func BenchmarkE19Churn(b *testing.B) { benchExperiment(b, expt.E19) }
 // hull families).
 func BenchmarkE20Abstraction(b *testing.B) { benchExperiment(b, expt.E20) }
 
+// BenchmarkE22Adversary runs the Byzantine adversary sweep (verified
+// delivery and reputation arms against misrouting/dropping/ack-forging/
+// telemetry-lying nodes, plus the colluding-endpoints row).
+func BenchmarkE22Adversary(b *testing.B) { benchExperiment(b, expt.E22) }
+
 // --- hole abstraction backend micro-benchmarks ---
 //
 // One op = answering a 128-query workload over a preprocessed network on the

@@ -24,6 +24,7 @@
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze|grid]
 //	            [-abstraction hull|bbox] [-batch] [-workers 0] [-cache 4096]
 //	            [-loss 0.05] [-crash 5] [-churn 4] [-retries 3] [-lossaware]
+//	            [-adversary 0.2 | -adversary 0.2,misroute+forge]
 //	            [-trace FILE] [-pprof FILE]
 //	            [-serve] [-addr :8080] [-serve-export FILE]
 package main
@@ -41,6 +42,8 @@ import (
 	"os/signal"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,6 +73,7 @@ func main() {
 	churn := flag.Int("churn", 0, "number of seeded crash+recover cycles replayed while the delivery run is in flight")
 	retries := flag.Int("retries", core.DefaultRetries, "per-hop retry budget for fault-injected delivery")
 	lossAware := flag.Bool("lossaware", false, "plan around observed lossy links (ETX weights) in the delivery run")
+	adversary := flag.String("adversary", "", "Byzantine adversaries in the delivery run: FRAC[,BEHAVIORS] e.g. 0.2 or 0.2,misroute+forge (behaviors: misroute, drop, forge, lie, all; default all); engages verified delivery + reputation-weighted planning")
 	traceFile := flag.String("trace", "", "record stack-wide trace events; write metrics + a traced sample query as JSON to this file")
 	pprofFile := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	static := flag.Bool("static", false, "build the network with the simulator-free static pipeline (identical routing state, no protocol rounds; enables much larger -n)")
@@ -78,14 +82,21 @@ func main() {
 	serveExport := flag.String("serve-export", "", "serve mode: append OTLP-style JSON metric batches to this file")
 	flag.Parse()
 
+	advFrac, advBehaviors, err := parseAdversaryFlag(*adversary)
+	if err != nil {
+		log.Fatalf("flags: %v", err)
+	}
 	if err := validateFlags(*loss, *crash, *churn, *retries, *lossAware); err != nil {
 		log.Fatalf("flags: %v", err)
 	}
 	if err := validateNameFlags(*scenario, *router, *abstraction); err != nil {
 		log.Fatalf("flags: %v", err)
 	}
-	if *static && (*loss > 0 || *crash > 0 || (*churn > 0 && !*serveMode) || *traceFile != "") {
-		log.Fatal("flags: -static builds no simulator; -loss/-crash/-churn/-trace need the distributed pipeline")
+	if *static && (*loss > 0 || *crash > 0 || (*churn > 0 && !*serveMode) || advFrac > 0 || *traceFile != "") {
+		log.Fatal("flags: -static builds no simulator; -loss/-crash/-churn/-adversary/-trace need the distributed pipeline")
+	}
+	if *serveMode && advFrac > 0 {
+		log.Fatal("flags: -adversary configures the one-shot delivery run; serve mode does not inject adversaries")
 	}
 	if err := validateServeFlags(*serveMode, *static, *batch, *churn, *loss, *crash, *traceFile, *router); err != nil {
 		log.Fatalf("flags: %v", err)
@@ -214,8 +225,8 @@ func main() {
 
 	// Fault-injected delivery run: only when requested, so the default output
 	// stays byte-identical to earlier releases.
-	if *loss > 0 || *crash > 0 || *churn > 0 {
-		runFaultedDelivery(nw, pairs, *loss, *crash, *churn, *retries, *seed, *lossAware)
+	if *loss > 0 || *crash > 0 || *churn > 0 || advFrac > 0 {
+		runFaultedDelivery(nw, pairs, *loss, *crash, *churn, *retries, *seed, *lossAware, advFrac, advBehaviors)
 	}
 
 	if tracer != nil {
@@ -223,6 +234,31 @@ func main() {
 			log.Fatalf("trace: %v", err)
 		}
 	}
+}
+
+// parseAdversaryFlag parses -adversary's "FRAC[,BEHAVIORS]" form: a node
+// fraction in (0, 1], optionally followed by a '+'-separated behavior list
+// understood by sim.ParseBehaviors ("" selects every behavior).
+func parseAdversaryFlag(s string) (float64, sim.AdversaryBehavior, error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	fracStr, behavStr := s, ""
+	if i := strings.IndexByte(s, ','); i >= 0 {
+		fracStr, behavStr = s[:i], s[i+1:]
+	}
+	frac, err := strconv.ParseFloat(fracStr, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-adversary %q: fraction %q is not a number", s, fracStr)
+	}
+	if frac <= 0 || frac > 1 {
+		return 0, 0, fmt.Errorf("-adversary %q: fraction %v must be in (0, 1]", s, frac)
+	}
+	behaviors, err := sim.ParseBehaviors(behavStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-adversary %q: %v", s, err)
+	}
+	return frac, behaviors, nil
 }
 
 // validateFlags rejects fault-model flag combinations that would otherwise
@@ -403,9 +439,10 @@ func writeTraceOutput(path string, nw *core.Network, tracer *trace.Tracer, pairs
 
 // runFaultedDelivery installs the seeded fault model and re-answers the query
 // workload as actual payload deliveries on the simulator, reporting how many
-// survive message loss, crashed nodes and mid-run churn through retries,
-// replanning, topology repair and suspect failover.
-func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, churn, retries int, seed int64, lossAware bool) {
+// survive message loss, crashed nodes, mid-run churn and Byzantine
+// adversaries through retries, replanning, topology repair, suspect
+// failover, verified delivery and reputation-weighted planning.
+func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, crash, churn, retries int, seed int64, lossAware bool, advFrac float64, advBehaviors sim.AdversaryBehavior) {
 	rng := rand.New(rand.NewSource(seed + 7))
 	crashed := make([]sim.NodeID, 0, crash)
 	isCrashed := make(map[sim.NodeID]bool)
@@ -417,6 +454,16 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		}
 	}
 	cfg := sim.FaultConfig{AdHocLoss: loss, LongLoss: loss, Seed: uint64(seed) + 7, Crashed: crashed}
+	if advFrac > 0 {
+		// Query endpoints are exempt from the election so the workload stays
+		// answerable — adversarial sources/destinations are the collusion
+		// scenario E22 demonstrates, not this run's subject.
+		exempt := make([]sim.NodeID, 0, 2*len(pairs))
+		for _, p := range pairs {
+			exempt = append(exempt, p.S, p.T)
+		}
+		cfg.Adversary = sim.AdversaryConfig{Fraction: advFrac, Behaviors: advBehaviors, Exempt: exempt}
+	}
 	if churn > 0 {
 		// Protect static crash victims (already skipped as endpoints) and
 		// every query endpoint, so churn never makes a pair undeliverable.
@@ -433,8 +480,12 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 	if lossAware {
 		topt.LossAware = core.LossAwareOn
 	}
+	if advFrac > 0 {
+		topt.Reputation = core.ReputationOn
+	}
 	delivered, attempted, retrans, replans, detours, skipped := 0, 0, 0, 0, 0, 0
 	suspected, suspectDetours := 0, 0
+	verified, e2eResends, misrouteDet := 0, 0, 0
 	var failures []string
 	for _, p := range pairs {
 		if isCrashed[p.S] || isCrashed[p.T] {
@@ -457,9 +508,18 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		detours += rep.Detours
 		suspected += rep.Suspected
 		suspectDetours += rep.SuspectDetours
+		if rep.Verified {
+			verified++
+		}
+		e2eResends += rep.E2EResends
+		misrouteDet += rep.MisrouteDetected
 	}
-	fmt.Printf("\nfault-injected delivery (loss %.3f, %d crashed, %d churn cycles, %d retries/hop):\n",
-		loss, len(crashed), churn, retries)
+	advNote := ""
+	if advFrac > 0 {
+		advNote = fmt.Sprintf(", %.0f%% adversarial", 100*advFrac)
+	}
+	fmt.Printf("\nfault-injected delivery (loss %.3f, %d crashed, %d churn cycles, %d retries/hop%s):\n",
+		loss, len(crashed), churn, retries, advNote)
 	fmt.Printf("delivered %d/%d (%.1f%%), skipped %d with crashed endpoints\n",
 		delivered, attempted, 100*float64(delivered)/float64(max(attempted, 1)), skipped)
 	fmt.Printf("retransmissions %d, source replans %d\n", retrans, replans)
@@ -468,6 +528,17 @@ func runFaultedDelivery(nw *core.Network, pairs []core.Query, loss float64, cras
 		fmt.Printf("churn: topology generation %d, repairs %d (%d incremental, %d full, %d restores)\n",
 			nw.TopoGeneration(), rs.Repairs, rs.Incremental, rs.Full, rs.Restores)
 		fmt.Printf("suspect failover: %d next hops suspected, %d suspect detours\n", suspected, suspectDetours)
+	}
+	if advFrac > 0 {
+		adv := nw.Sim.AdversaryCounters()
+		fmt.Printf("adversaries (%.0f%% of nodes, behaviors %s): %d misroutes, %d forged acks, %d selective drops\n",
+			100*advFrac, advBehaviors, adv.Misrouted, adv.ForgedAcks, adv.SelectiveDrops)
+		fmt.Printf("verified delivery: %d/%d confirmed end to end, %d e2e relaunches, %d misroutes detected\n",
+			verified, delivered, e2eResends, misrouteDet)
+		if nw.Rep != nil {
+			fmt.Printf("reputation: generation %d (recovery replans tie-break on per-node delivery trust)\n",
+				nw.Rep.Generation())
+		}
 	}
 	if lossAware {
 		fmt.Printf("loss-aware detours %d\n", detours)

@@ -245,7 +245,10 @@ func TestSuspectFailoverAroundCrashedNode(t *testing.T) {
 		if err != nil || !rep2.DeliveredSim {
 			t.Fatalf("post-suspicion delivery failed: %v", err)
 		}
-		if rep2.SuspectDetours == 0 {
+		// Either failover layer may win: the suspect-avoid divert, or the
+		// loss-aware ETX detour that learned the dead link from the first
+		// pass. What matters is that the plan cleared the suspect up front.
+		if rep2.SuspectDetours == 0 && !(rep2.Detours > 0 && !pathHitsAny(rep2.Path, map[sim.NodeID]bool{victim: true})) {
 			t.Errorf("initial plan through a suspect must divert: %+v", rep2)
 		}
 		if rep2.Retransmits >= rep.Retransmits && rep.Retransmits > 0 {

@@ -175,9 +175,18 @@ func (lv *Liveness) AvoidFor(s, t sim.NodeID) map[sim.NodeID]bool {
 	return out
 }
 
-// probeHash mixes (s, t, suspect) splitmix64-style into the probe election.
+// probeHash mixes (s, t, suspect) into the probe election. Each ID is folded
+// in at full width with a splitmix64 finalization between them — shifted
+// XOR-packing (`s<<42 ^ t<<21 ^ v`) would silently alias IDs at or above
+// 2^21, collapsing distinct queries onto one probe decision.
 func probeHash(s, t, v sim.NodeID) uint64 {
-	x := uint64(s)<<42 ^ uint64(t)<<21 ^ uint64(v)
+	x := probeMix(uint64(s))
+	x = probeMix(x ^ uint64(t))
+	return probeMix(x ^ uint64(v))
+}
+
+// probeMix is the splitmix64 finalization step.
+func probeMix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb

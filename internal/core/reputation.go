@@ -1,0 +1,265 @@
+// Reputation-weighted planning: a shared per-node score fed by *verified*
+// deliveries. Hop-by-hop ack telemetry (LinkStats, Liveness) is blind to a
+// Byzantine forwarder that acknowledges a payload and then discards it — the
+// transfer looks clean from one hop upstream. The reputation table closes that
+// gap from the only signal an adversary cannot forge cheaply: the end-to-end
+// verification round trip over the long-range edge. Every node on a launched
+// path is credited when the destination confirms arrival and debited when
+// verification gives the launch up, an EWMA per node — the mixnet freeloader
+// defense ("send messages through the suspect node and see if they are
+// delivered") adapted to hybrid routing.
+//
+// The signal is coarse: a failed launch debits every interior node of its
+// corridors because the verifier cannot tell which hop stole the payload, so
+// at realistic adversary densities most debits land on innocent bystanders
+// and the score cannot localize the thief (E22 measures the distrusted set's
+// precision at roughly the ambient adversary fraction). The planner therefore
+// consumes the table only as a *bounded tie-breaker* during recovery
+// replanning — edge weights in [1, repWeightCap] — never as a hard constraint
+// and never in initial plans, where perturbing the clean deterministic route
+// costs more than the noisy score recovers.
+//
+// Like LinkStats and Liveness the table is oracle-free, nil-safe (a Network
+// without it trusts everyone), and inert on clean traffic: crediting a node
+// already at full score is a no-op that advances no generation, so
+// adversary-free runs stay byte-identical whether or not the table exists.
+
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hybridroute/internal/sim"
+)
+
+// The EWMA steps are asymmetric — punish slowly, forgive quickly:
+// score' = (1-alpha)*score + alpha*outcome. A failed launch debits *every*
+// interior node of its paths (the verify signal cannot localize the thief,
+// and a forger's hop looks clean from one hop upstream), so at high adversary
+// density most debits land on innocent bystanders. With a gentle debit and a
+// generous credit an innocent that keeps appearing on a mix of failing and
+// succeeding paths equilibrates well above the avoid band (fail-then-succeed
+// fixpoint ≈ 0.83), while a forger — whose corridors keep failing
+// verification, so credits rarely arrive — sinks monotonically below it in
+// four misses. Symmetric 0.5/0.5 alphas put that same innocent at the 0.67
+// fixpoint, two unlucky launches from being hard-avoided, which at 30%
+// adversaries floods the avoid set with honest nodes and starves planning.
+const (
+	repCreditAlpha = 0.6
+	repDebitAlpha  = 0.3
+)
+
+// repWeightBelow is the confidence threshold under which the soft weights
+// engage. A node in the gray zone [repWeightBelow, 1) — one or two smeared
+// debits from launches that failed elsewhere — is still treated as honest for
+// planning; detouring around every mildly-debited bystander at high adversary
+// density lengthens paths through *more* adversaries than it saves.
+const repWeightBelow = 0.5
+
+// repWeightCap bounds the weight of a fully distrusted node. The cap is the
+// exchange rate between distrust and detour length, and it must stay close to
+// 1: every extra hop of detour crosses a fresh node that is adversarial with
+// the ambient probability, so a large cap (an early version used 10x) licenses
+// corridors long enough that the detour is *more* likely to die than the
+// distrusted hop it avoids. At 1.3x the weights act as a tie-breaker — among
+// near-equal recovery corridors, prefer the one through better-scoring nodes —
+// and never force a materially longer path.
+const repWeightCap = 1.3
+
+// repAvoidBelow is the distrust threshold: nodes scoring under it appear in
+// Distrusted() and in the AvoidFor/AvoidSet hard-avoid sets (minus a probe
+// fraction, so redemption stays observable), mirroring Liveness suspects.
+// The routing planner does not consume the avoid sets — hard-avoiding a
+// mostly-innocent framed cohort measurably costs delivery — but the API
+// stays for callers that accept that trade.
+const repAvoidBelow = 0.3
+
+// repAvoidMaxFrac bounds the hard-avoid set: when more than this fraction of
+// the network scores under repAvoidBelow the table has lost discrimination —
+// at high adversary density a failed launch debits mostly innocent bystanders
+// (the verify signal cannot localize the thief), and hard-avoiding a large
+// framed cohort forces every plan through long detours that cross *more*
+// adversaries than the direct corridor. Past the bound avoidance degrades to
+// the soft weights alone, which still bias planning away from the
+// worst-scoring nodes without cutting them out of the graph.
+const repAvoidMaxFrac = 8 // denominator: avoid at most n/8 nodes outright
+
+// Reputation is the shared verified-delivery score table. All methods are
+// safe for concurrent use and for a nil receiver.
+type Reputation struct {
+	mu    sync.Mutex
+	score []float64
+	seen  []bool // scored at least once; unseen nodes are at full trust
+	low   int    // nodes currently under repAvoidBelow
+	gen   atomic.Uint64
+}
+
+// NewReputation builds an all-trusted table for n nodes.
+func NewReputation(n int) *Reputation {
+	return &Reputation{score: make([]float64, n), seen: make([]bool, n)}
+}
+
+// Observe folds one verification outcome for node v into its score. Crediting
+// a node still at full trust is a no-op (no state change, no generation
+// bump), which keeps clean runs byte-identical.
+func (rp *Reputation) Observe(v sim.NodeID, verified bool) {
+	if rp == nil || int(v) < 0 || int(v) >= len(rp.score) {
+		return
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if verified && !rp.seen[v] {
+		return // full trust confirmed: nothing to update
+	}
+	old := rp.scoreLocked(v)
+	target, alpha := 0.0, repDebitAlpha
+	if verified {
+		target, alpha = 1.0, repCreditAlpha
+	}
+	next := (1-alpha)*old + alpha*target
+	if !rp.seen[v] {
+		rp.seen[v] = true
+	}
+	rp.score[v] = next
+	if old >= repAvoidBelow && next < repAvoidBelow {
+		rp.low++
+	} else if old < repAvoidBelow && next >= repAvoidBelow {
+		rp.low--
+	}
+	if next != old {
+		rp.gen.Add(1)
+	}
+}
+
+// ObservePath applies Observe to every interior node of path (endpoints s and
+// t excluded: the source scores, the destination is the verifier).
+func (rp *Reputation) ObservePath(path []sim.NodeID, s, t sim.NodeID, verified bool) {
+	if rp == nil {
+		return
+	}
+	for _, v := range path {
+		if v == s || v == t {
+			continue
+		}
+		rp.Observe(v, verified)
+	}
+}
+
+// scoreLocked returns v's score with the full-trust default applied.
+func (rp *Reputation) scoreLocked(v sim.NodeID) float64 {
+	if !rp.seen[v] {
+		return 1.0
+	}
+	return rp.score[v]
+}
+
+// Score returns v's current score in [0,1]; unseen (or out-of-range, or
+// nil-table) nodes are fully trusted at 1.
+func (rp *Reputation) Score(v sim.NodeID) float64 {
+	if rp == nil || int(v) < 0 || int(v) >= len(rp.score) {
+		return 1.0
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.scoreLocked(v)
+}
+
+// Weight returns the planning multiplier for routing *through* v: 1 for any
+// node at or above the repWeightBelow confidence threshold (so the table never
+// perturbs plans over gray-zone bystanders, let alone clean ones), rising
+// linearly below it to repWeightCap at score 0.
+func (rp *Reputation) Weight(v sim.NodeID) float64 {
+	s := rp.Score(v)
+	if s >= repWeightBelow {
+		return 1.0
+	}
+	return repWeightCap - (repWeightCap-1)*(s/repWeightBelow)
+}
+
+// Generation counts score changes; the engine mixes it into plan-cache keys
+// so a fragment planned under one reputation state is never served after the
+// table moved.
+func (rp *Reputation) Generation() uint64 {
+	if rp == nil {
+		return 0
+	}
+	return rp.gen.Load()
+}
+
+// LowCount returns the number of nodes currently under the hard-avoid
+// threshold.
+func (rp *Reputation) LowCount() int {
+	if rp == nil {
+		return 0
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.low
+}
+
+// Distrusted returns the nodes currently scored under the repAvoidBelow
+// threshold in ascending order — the table's standing accusation list.
+// Callers with ground truth (experiment harnesses) can score its precision;
+// the planner deliberately does not consume it (see the package comment).
+func (rp *Reputation) Distrusted() []sim.NodeID {
+	if rp == nil {
+		return nil
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.low == 0 {
+		return nil
+	}
+	out := make([]sim.NodeID, 0, rp.low)
+	for v := range rp.score {
+		if rp.seen[v] && rp.score[v] < repAvoidBelow {
+			out = append(out, sim.NodeID(v))
+		}
+	}
+	return out
+}
+
+// AvoidFor returns the hard-avoid set for query (s, t): nodes under
+// repAvoidBelow, minus the endpoints, minus the probe fraction elected by the
+// same stateless hash Liveness uses — one in probeEvery queries keeps a
+// distrusted node plannable so a redeemed node's verified deliveries can
+// rebuild its score. See repAvoidBelow for why the routing planner itself
+// leaves these sets alone.
+func (rp *Reputation) AvoidFor(s, t sim.NodeID) map[sim.NodeID]bool {
+	return rp.avoid(s, t, true)
+}
+
+// AvoidSet is AvoidFor without the probe exemption, for mid-query replans.
+func (rp *Reputation) AvoidSet(s, t sim.NodeID) map[sim.NodeID]bool {
+	return rp.avoid(s, t, false)
+}
+
+func (rp *Reputation) avoid(s, t sim.NodeID, probe bool) map[sim.NodeID]bool {
+	if rp == nil {
+		return nil
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.low == 0 || rp.low > len(rp.score)/repAvoidMaxFrac {
+		return nil
+	}
+	out := make(map[sim.NodeID]bool, rp.low)
+	for v := range rp.score {
+		if !rp.seen[v] || rp.score[v] >= repAvoidBelow {
+			continue
+		}
+		id := sim.NodeID(v)
+		if id == s || id == t {
+			continue
+		}
+		if probe && probeHash(s, t, id)%probeEvery == 1 {
+			continue // this query probes v's redemption
+		}
+		out[id] = true
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -469,11 +469,32 @@ const lossDetourSlack = 1.05
 // dead nodes removed (the p̂ → 1 limit; t itself stays reachable, matching
 // ShortestPathAvoiding's endpoint exemption).
 func (nw *Network) etxWeight(t sim.NodeID, avoid map[sim.NodeID]bool) delaunay.EdgeWeight {
+	return nw.costWeight(t, avoid, false)
+}
+
+// costWeight is etxWeight with the reputation multiplier folded in when
+// reputation-aware planning is engaged: traversing node v costs its link ETX
+// times the inverse of v's verified-delivery score, so plans drain away from
+// nodes whose paths keep failing end-to-end verification. With every node at
+// full trust the multiplier is 1 and the two weightings coincide.
+func (nw *Network) costWeight(t sim.NodeID, avoid map[sim.NodeID]bool, repAware bool) delaunay.EdgeWeight {
+	if !repAware || nw.Rep == nil {
+		return func(u, v udg.NodeID) float64 {
+			if avoid[v] && v != t {
+				return math.Inf(1)
+			}
+			return nw.Link.ETX(u, v)
+		}
+	}
 	return func(u, v udg.NodeID) float64 {
 		if avoid[v] && v != t {
 			return math.Inf(1)
 		}
-		return nw.Link.ETX(u, v)
+		w := nw.Link.ETX(u, v)
+		if v != t {
+			w *= nw.Rep.Weight(v)
+		}
+		return w
 	}
 }
 
@@ -482,20 +503,25 @@ func (nw *Network) etxWeight(t sim.NodeID, avoid map[sim.NodeID]bool) delaunay.E
 // length, keeping the plan otherwise. It reports whether the plan changed.
 // With an empty estimator every ETX is 1, both costs coincide and the plan
 // is always kept — loss-aware mode is inert until loss has been observed.
-func (nw *Network) applyLossDetour(out *Outcome, t sim.NodeID, avoid map[sim.NodeID]bool) bool {
+func (nw *Network) applyLossDetour(out *Outcome, t sim.NodeID, avoid map[sim.NodeID]bool, repAware bool) bool {
 	if nw.Link == nil || !out.Reached || len(out.Path) < 2 {
 		return false
 	}
 	geo, exp := 0.0, 0.0
 	for i := 1; i < len(out.Path); i++ {
-		l := nw.G.Point(out.Path[i-1]).Dist(nw.G.Point(out.Path[i]))
+		v := out.Path[i]
+		l := nw.G.Point(out.Path[i-1]).Dist(nw.G.Point(v))
 		geo += l
-		exp += l * nw.Link.ETX(out.Path[i-1], out.Path[i])
+		c := l * nw.Link.ETX(out.Path[i-1], v)
+		if repAware && nw.Rep != nil && v != t {
+			c *= nw.Rep.Weight(v)
+		}
+		exp += c
 	}
 	if exp <= geo*lossDetourSlack {
 		return false
 	}
-	path, cost, ok := nw.LDel.ShortestPathWeighted(out.Path[0], t, nw.etxWeight(t, avoid))
+	path, cost, ok := nw.LDel.ShortestPathWeighted(out.Path[0], t, nw.costWeight(t, avoid, repAware))
 	if !ok || cost >= exp {
 		return false
 	}

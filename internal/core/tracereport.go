@@ -52,6 +52,13 @@ type TraceReport struct {
 	CompetitiveRatio float64  `json:"competitive_ratio,omitempty"`
 	PlanPath         []string `json:"plan_path,omitempty"` // distinct plan labels in first-use order
 
+	// Byzantine-tier diagnostics (all zero unless the simulator has
+	// adversaries installed).
+	Verified         bool `json:"verified,omitempty"`
+	E2EResends       int  `json:"e2e_resends,omitempty"`
+	VerifyFails      int  `json:"verify_fails,omitempty"`
+	MisrouteDetected int  `json:"misroute_detected,omitempty"`
+
 	// Err is the delivery error of this query, set by TraceBatch so a failed
 	// query in a traced batch keeps both its partial trace and its reason.
 	Err string `json:"err,omitempty"`
@@ -116,11 +123,14 @@ func (nw *Network) traceBatch(planner planSource, queries []Query, opt Transport
 func (nw *Network) buildTraceReport(s, t sim.NodeID, rep *TransportReport, events []trace.Event) *TraceReport {
 	r := &TraceReport{
 		S: int(s), T: int(t),
-		Delivered:   rep.DeliveredSim,
-		Rounds:      rep.Rounds,
-		Retransmits: rep.Retransmits,
-		Replans:     rep.Replans,
-		GeoDistance: nw.G.Point(s).Dist(nw.G.Point(t)),
+		Delivered:        rep.DeliveredSim,
+		Rounds:           rep.Rounds,
+		Retransmits:      rep.Retransmits,
+		Replans:          rep.Replans,
+		GeoDistance:      nw.G.Point(s).Dist(nw.G.Point(t)),
+		Verified:         rep.Verified,
+		E2EResends:       rep.E2EResends,
+		MisrouteDetected: rep.MisrouteDetected,
 	}
 
 	// Aggregate hop events by (from, to, seq) in first-appearance order.
@@ -161,6 +171,8 @@ func (nw *Network) buildTraceReport(s, t sim.NodeID, rep *TransportReport, event
 			}
 		case trace.KindReplan:
 			notePlan(ev.Plan)
+		case trace.KindVerifyFail:
+			r.VerifyFails++
 		}
 	}
 

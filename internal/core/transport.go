@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"hybridroute/internal/sim"
 	"hybridroute/internal/trace"
@@ -68,10 +69,36 @@ type rdataMsg struct {
 	path    []sim.NodeID
 	payload int
 	plan    string
+	// launch tags the payload with the end-to-end launch epoch it belongs to
+	// (rsourceState.launch). A nack echoes it so the source can tell a live
+	// corridor's distress from a relic of an epoch the relaunch already
+	// replaced — resuming a stale strand would graft the abandoned corridor
+	// (and whoever swallowed its payload) into the new launch's verification
+	// record. Always 0 outside verified delivery, where it costs no words.
+	launch int
 }
 
-func (m rdataMsg) Words() int               { return m.payload + len(m.path) + 2 }
+func (m rdataMsg) Words() int {
+	w := m.payload + len(m.path) + 2
+	if m.launch > 0 {
+		w++ // the launch tag rides only on relaunched corridors
+	}
+	return w
+}
 func (m rdataMsg) CarriedIDs() []sim.NodeID { return append([]sim.NodeID{m.src}, m.path...) }
+
+// FlowSrc/FlowDst classify the hop as payload-class for the simulator's
+// Byzantine intercept (sim.PayloadMessage). The flow destination is the last
+// planned node; on the final hop the remaining path is empty and the receiver
+// itself is the destination, signalled by -1 (the simulator substitutes the
+// actual receiver). Neither accessor adds modeled words.
+func (m rdataMsg) FlowSrc() sim.NodeID { return m.src }
+func (m rdataMsg) FlowDst() sim.NodeID {
+	if len(m.path) > 0 {
+		return m.path[len(m.path)-1]
+	}
+	return -1
+}
 
 // hopAck confirms receipt of transfer n to the previous hop (ad hoc).
 type hopAck struct{ n int }
@@ -80,11 +107,17 @@ type hopAck struct{ n int }
 // the payload and the hop toward `dead` exhausted its retransmission budget.
 // Long-range; seq matches the eventual resumeMsg to this holder.
 type nackMsg struct {
-	seq  int
-	dead sim.NodeID
+	seq    int
+	dead   sim.NodeID
+	launch int // epoch of the stranded payload (see rdataMsg.launch)
 }
 
-func (nackMsg) Words() int { return 2 }
+func (m nackMsg) Words() int {
+	if m.launch > 0 {
+		return 3
+	}
+	return 2
+}
 
 // resumeMsg hands a replanned remaining path back to a stranded holder
 // (long-range, source → holder). The path excludes the holder itself; plan
@@ -117,6 +150,11 @@ type TransportOptions struct {
 	// away from links whose observed loss estimate (Network.Link) makes
 	// their expected transmission cost exceed a clean detour's.
 	LossAware LossAwareMode
+	// Reputation selects reputation-weighted planning: plans and replans
+	// additionally weight nodes by their verified-delivery score
+	// (Network.Rep), draining traffic away from nodes whose paths keep
+	// failing end-to-end verification.
+	Reputation ReputationMode
 }
 
 // LossAwareMode selects when route planning consults the link-quality
@@ -133,6 +171,22 @@ const (
 	LossAwareOn
 	// LossAwareOff never does: the retry-through baseline.
 	LossAwareOff
+)
+
+// ReputationMode selects when route planning consults the verified-delivery
+// reputation table.
+type ReputationMode int
+
+const (
+	// ReputationAuto engages reputation-weighted planning exactly when the
+	// simulator has Byzantine adversaries installed — the default. The table
+	// is all-trust until verifications fail, so even then it starts inert.
+	ReputationAuto ReputationMode = iota
+	// ReputationOn always consults the table (still a no-op without one).
+	ReputationOn
+	// ReputationOff never does: the unweighted baseline the E22 sweep
+	// compares against.
+	ReputationOff
 )
 
 // DefaultRetries is the per-hop retransmission budget when none is given.
@@ -156,6 +210,12 @@ type TransportReport struct {
 	// active and populated).
 	Suspected      int // next hops this delivery newly marked suspected
 	SuspectDetours int // plans diverted around suspected nodes (initial + replans)
+	// Byzantine-tier diagnostics (all zero unless the simulator has
+	// adversaries installed, which is when the verified-delivery protocol
+	// engages).
+	Verified         bool // the destination confirmed arrival end to end
+	E2EResends       int  // fresh payload launches after failed verification
+	MisrouteDetected int  // unforwardable payloads honest holders reported
 }
 
 // RouteOnSim executes a routing query as an actual message sequence on the
@@ -212,18 +272,30 @@ func (nw *Network) routeOnSim(planner planSource, s, t sim.NodeID, opt Transport
 	if opt.Reliable || nw.Sim.FaultsActive() {
 		lossAware := opt.LossAware == LossAwareOn ||
 			(opt.LossAware == LossAwareAuto && nw.Sim.FaultsActive())
-		if lossAware && nw.applyLossDetour(&rep.Outcome, t, nil) {
+		repAware := nw.Rep != nil && (opt.Reputation == ReputationOn ||
+			(opt.Reputation == ReputationAuto && nw.Sim.AdversaryActive()))
+		// Reputation deliberately does NOT touch the initial plan. The debit
+		// signal cannot localize a thief (a failed launch debits every interior
+		// node), so steering first launches by score detours them around mostly
+		// framed bystanders — through longer corridors that cross *more*
+		// adversaries — and an avoided innocent never carries traffic again, so
+		// it can never redeem its score. Routing first launches straight keeps
+		// redemption credits flowing and reserves the table for what it is
+		// actually good at: choosing among detours once a corridor has already
+		// failed (replans and relaunches below).
+		if lossAware && nw.applyLossDetour(&rep.Outcome, t, nil, false) {
 			rep.Detours++
 			initialPlan = planLDelETX
 		}
 		// Suspect-based failover: when the plan crosses a node the liveness
 		// table currently suspects, divert immediately instead of burning a
-		// retry budget through it. AvoidFor exempts the suspects this query
-		// is elected to probe (so recoveries are eventually observed); if no
-		// path avoids every suspect the plan stands and the retry protocol
+		// retry budget through it. AvoidFor exempts the nodes this query is
+		// elected to probe (so recoveries are eventually observed); if no path
+		// avoids every suspect the plan stands and the retry protocol
 		// adjudicates.
-		if avoid := nw.Live.AvoidFor(s, t); len(avoid) > 0 && pathHitsAny(rep.Path, avoid) {
-			if p := nw.suspectDetourPath(s, t, avoid, lossAware); p != nil {
+		avoid := nw.Live.AvoidFor(s, t)
+		if len(avoid) > 0 && pathHitsAny(rep.Path, avoid) {
+			if p := nw.suspectDetourPath(s, t, avoid, lossAware, false); p != nil {
 				rep.Path = p
 				rep.Waypoints = nil
 				rep.SuspectDetours++
@@ -233,35 +305,31 @@ func (nw *Network) routeOnSim(planner planSource, s, t sim.NodeID, opt Transport
 				}
 			}
 		}
-		return nw.deliverReliable(planner, s, t, opt, rep, lossAware, initialPlan)
+		return nw.deliverReliable(planner, s, t, opt, rep, lossAware, repAware, initialPlan)
 	}
 	return nw.deliverLossless(s, t, opt.PayloadWords, rep, initialPlan)
 }
 
-// counterProbe snapshots per-node counters so a delivery can report exactly
-// the messages it moved.
+// counterProbe snapshots the global counter totals so a delivery can report
+// exactly the messages it moved. Totals suffice — the report only ever sums
+// the per-node deltas — and they keep the probe allocation-free where the old
+// per-node snapshot copied an n-sized counter slice per query.
 type counterProbe struct {
 	startRounds int
-	before      []sim.Counters
+	before      sim.Counters
 }
 
 func (nw *Network) probe() counterProbe {
-	p := counterProbe{startRounds: nw.Sim.Rounds(), before: make([]sim.Counters, nw.G.N())}
-	for v := 0; v < nw.G.N(); v++ {
-		p.before[v] = nw.Sim.Counters(sim.NodeID(v))
-	}
-	return p
+	return counterProbe{startRounds: nw.Sim.Rounds(), before: nw.Sim.TotalCounters()}
 }
 
 func (p counterProbe) fill(nw *Network, rep *TransportReport) {
 	rep.Rounds = nw.Sim.Rounds() - p.startRounds
-	for v := 0; v < nw.G.N(); v++ {
-		after := nw.Sim.Counters(sim.NodeID(v))
-		rep.AdHocMsgs += after.AdHocMsgs - p.before[v].AdHocMsgs
-		rep.LongMsgs += after.LongMsgs - p.before[v].LongMsgs
-		rep.AdHocWords += after.AdHocWords - p.before[v].AdHocWords
-		rep.LongWords += after.LongWords - p.before[v].LongWords
-	}
+	after := nw.Sim.TotalCounters()
+	rep.AdHocMsgs += after.AdHocMsgs - p.before.AdHocMsgs
+	rep.LongMsgs += after.LongMsgs - p.before.LongMsgs
+	rep.AdHocWords += after.AdHocWords - p.before.AdHocWords
+	rep.LongWords += after.LongWords - p.before.LongWords
 }
 
 // deliverLossless is the paper's fire-and-forget transport, unchanged except
@@ -273,15 +341,18 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 	pr := nw.probe()
 	tr := nw.tracer
 
-	// Per-node flags keep the protocol state race-free under parallel
-	// simulator stepping.
-	deliveredAt := make([]bool, nw.G.N())
-	misroutedAt := make([]bool, nw.G.N())
-	started := make([]bool, nw.G.N())
+	// Scalar flags replace the old n-sized per-node scratch slices (~1 MB per
+	// query at 10⁶ nodes): started is written only from s's step and
+	// delivered only from t's, so parallel stepping stays race-free without
+	// per-node storage. Misrouted holders — any node, error path only — go
+	// into a small mutex-guarded sparse set instead.
+	var started, delivered bool
+	var misMu sync.Mutex
+	var misroutedAt []sim.NodeID
 	nw.Sim.SetAllProtos(func(v sim.NodeID) sim.Proto {
 		return sim.ProtoFunc(func(ctx *sim.Context, round int, inbox []sim.Envelope) {
-			if v == s && !started[v] {
-				started[v] = true
+			if v == s && !started {
+				started = true
 				ctx.SendLong(t, posQuery{})
 				return
 			}
@@ -302,7 +373,7 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 					}
 				case dataMsg:
 					if v == t && len(msg.path) == 0 {
-						deliveredAt[v] = true
+						delivered = true
 						return
 					}
 					if len(msg.path) > 0 {
@@ -313,7 +384,9 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 					} else {
 						// Plan exhausted before reaching t: the payload is
 						// stranded here. Record where for the error report.
-						misroutedAt[v] = true
+						misMu.Lock()
+						misroutedAt = append(misroutedAt, v)
+						misMu.Unlock()
 					}
 				}
 			}
@@ -330,16 +403,29 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 	pr.fill(nw, rep)
 	// Only the target's own flag counts as physical delivery; the s == t
 	// case was answered before any message moved.
-	rep.DeliveredSim = deliveredAt[t]
+	rep.DeliveredSim = delivered
 	if !rep.DeliveredSim {
-		for v := range misroutedAt {
-			if misroutedAt[v] {
-				return rep, fmt.Errorf("core: misrouted plan: remaining path exhausted at node %d before reaching %d", v, t)
-			}
+		if v, ok := minID(misroutedAt); ok {
+			return rep, fmt.Errorf("core: misrouted plan: remaining path exhausted at node %d before reaching %d", v, t)
 		}
 		return rep, fmt.Errorf("core: payload did not arrive at %d", t)
 	}
 	return rep, nil
+}
+
+// minID returns the smallest ID in the sparse set (keeping error messages
+// deterministic regardless of append order under parallel stepping).
+func minID(ids []sim.NodeID) (sim.NodeID, bool) {
+	if len(ids) == 0 {
+		return 0, false
+	}
+	m := ids[0]
+	for _, v := range ids[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m, true
 }
 
 // --- reliable transport ---
@@ -347,6 +433,28 @@ func (nw *Network) deliverLossless(s, t sim.NodeID, payloadWords int, rep *Trans
 // ackWait is the rounds a sender waits before declaring an attempt lost: one
 // round for its message to arrive, one for the answer to come back.
 const ackWait = 2
+
+// verifyWait is the cadence of end-to-end verification polls: the source asks
+// the destination over the long-range edge whether the payload arrived, on
+// this period, until it hears yes (or gives the launch up).
+const verifyWait = 2 * ackWait
+
+// verifyQuery polls the destination end to end: "did my payload arrive?" —
+// the freeloader-detection probe a forged hop acknowledgement cannot answer
+// (PAPERS.md: "send messages through the suspect node and see if they are
+// delivered"). n tags the payload launch being verified. Long-range.
+type verifyQuery struct{ n int }
+
+func (verifyQuery) Words() int { return 1 }
+
+// verifyReply is the destination's answer. A colluding adversarial
+// destination forges delivered=true for flows a fellow adversary discarded.
+type verifyReply struct {
+	n         int
+	delivered bool
+}
+
+func (verifyReply) Words() int { return 2 }
 
 // rpending is an outstanding transfer awaiting its hop acknowledgement.
 type rpending struct {
@@ -364,6 +472,7 @@ type rstrand struct {
 	sentAt   int
 	attempts int
 	dead     sim.NodeID
+	launch   int // epoch of the held payload (see rdataMsg.launch)
 }
 
 // linkObs is one completed transfer's outcome over a directed ad hoc link,
@@ -389,6 +498,7 @@ type rnode struct {
 	hopsIn    int // fresh (non-duplicate) payload receipts
 	retrans   int
 	suspects  int // next hops this node marked suspected (retry exhaustion)
+	misdetect int // unforwardable payloads this (honest) holder reported
 	obs       []linkObs
 	// abandoned records a strand this holder gave up on after its failure
 	// notices to the source went unanswered — the payload is gone, and the
@@ -398,14 +508,60 @@ type rnode struct {
 
 // rsourceState is the extra state of the query source.
 type rsourceState struct {
-	posSentAt   int
-	posAttempts int
+	posSentAt      int
+	posAttempts    int
 	havePos        bool
 	dead           map[sim.NodeID]bool
 	replans        int
 	detours        int
 	suspectDetours int
 	failure        string
+	// Verified-delivery protocol state (engaged only under adversaries).
+	verified   bool         // the destination confirmed arrival
+	verSentAt  int          // round of the last verification poll (-1: none yet)
+	verFails   int          // "not delivered" replies since the current launch
+	launch     int          // payload launch number (0 = initial)
+	launchedAt int          // round the current launch (or its last resume) started
+	launchVia  []sim.NodeID // interior nodes handed a leg of the current launch
+	launchSeen map[sim.NodeID]bool
+	resends    int // end-to-end relaunches after failed verification
+	// extraAvoid is set transiently around a relaunch replan: the interior
+	// nodes of the launch that just failed verification. A selective-drop
+	// adversary black-holes flows deterministically, so relaunching down the
+	// same corridor fails the same way — diversifying the corridor is the
+	// recovery. replanFrom treats these like suspects (soft: readmitted if
+	// no path clears them).
+	extraAvoid map[sim.NodeID]bool
+	// resumeBudget caps how many stranded corridors the current launch may
+	// resume with a fresh path. Every resume opens a corridor that can
+	// strand again (and, with retries, nack several times more), so under
+	// adversarial misrouting an unbounded resume policy breeds corridors
+	// faster than they die — a branching process that outlives any
+	// deadline. Refilled per launch.
+	resumeBudget int
+}
+
+// noteLaunchPath records the interior nodes of a path handed out for the
+// current launch, so verification outcomes can credit or debit them.
+func (src *rsourceState) noteLaunchPath(path []sim.NodeID, s, t sim.NodeID) {
+	for _, v := range path {
+		if v == s || v == t || src.launchSeen[v] {
+			continue
+		}
+		if src.launchSeen == nil {
+			src.launchSeen = make(map[sim.NodeID]bool)
+		}
+		src.launchSeen[v] = true
+		src.launchVia = append(src.launchVia, v)
+	}
+}
+
+// resetLaunchPath clears the per-launch node record for a fresh launch.
+func (src *rsourceState) resetLaunchPath() {
+	src.launchVia = src.launchVia[:0]
+	for v := range src.launchSeen {
+		delete(src.launchSeen, v)
+	}
 }
 
 // suspectDetourPath plans s→t around the suspect avoid set over LDel²:
@@ -413,9 +569,9 @@ type rsourceState struct {
 // prefers low-loss links), plain node-avoiding otherwise. Returns nil when no
 // path avoids every suspect — suspicion is not proof of death, so the caller
 // then routes through the suspect and lets the retry protocol adjudicate.
-func (nw *Network) suspectDetourPath(s, t sim.NodeID, avoid map[sim.NodeID]bool, lossAware bool) []sim.NodeID {
-	if lossAware {
-		if p, _, ok := nw.LDel.ShortestPathWeighted(s, t, nw.etxWeight(t, avoid)); ok {
+func (nw *Network) suspectDetourPath(s, t sim.NodeID, avoid map[sim.NodeID]bool, lossAware, repAware bool) []sim.NodeID {
+	if lossAware || repAware {
+		if p, _, ok := nw.LDel.ShortestPathWeighted(s, t, nw.costWeight(t, avoid, repAware)); ok {
 			return p
 		}
 		return nil
@@ -430,27 +586,40 @@ func (nw *Network) suspectDetourPath(s, t sim.NodeID, avoid map[sim.NodeID]bool,
 // lossAware set, every replan consults the link-quality estimates and may
 // substitute an ETX-weighted detour for the geometric plan. initialPlan
 // labels the planner that produced the starting plan, for trace attribution.
-func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport, lossAware bool, initialPlan string) (*TransportReport, error) {
+func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt TransportOptions, rep *TransportReport, lossAware, repAware bool, initialPlan string) (*TransportReport, error) {
 	retries := opt.Retries
 	if retries <= 0 {
 		retries = DefaultRetries
 	}
+	// verif engages the end-to-end verified-delivery protocol exactly when
+	// the simulator has Byzantine adversaries installed: hop-by-hop acks are
+	// trustworthy against plain loss and crashes, and keeping the protocol
+	// off then preserves those runs byte for byte.
+	verif := nw.Sim.AdversaryActive()
 	timeout := opt.TimeoutRounds
 	if timeout <= 0 {
 		// Budget: every hop may burn (retries+1) attempts of ackWait+1
 		// rounds, plus handshake, nack/resume round trips and slack for
-		// replanned (longer) paths.
+		// replanned (longer) paths. Verified delivery may relaunch the
+		// payload end to end up to `retries` times, so its budget doubles.
 		timeout = (len(rep.Path)+8)*(ackWait+1)*(retries+1) + 32
+		if verif {
+			timeout *= 2
+		}
 	}
+	// launchBudget is how long the source lets one launch stay unverified
+	// (and itself idle) before relaunching end to end: a clean traversal of
+	// the plan plus one retransmission round trip per hop.
+	launchBudget := (len(rep.Path) + 2) * (ackWait + 1)
 	pr := nw.probe()
 	tr := nw.tracer
 	deadline := nw.Sim.Rounds() + timeout
 
+	// Per-node duplicate-suppression maps are created lazily on first packet
+	// receipt: only nodes the payload actually crosses pay for them, where
+	// the old eager loop allocated n maps per query.
 	st := make([]rnode, nw.G.N())
-	for i := range st {
-		st[i].seen = make(map[sim.NodeID]map[int]bool)
-	}
-	src := &rsourceState{posSentAt: -1, dead: make(map[sim.NodeID]bool)}
+	src := &rsourceState{posSentAt: -1, verSentAt: -1, dead: make(map[sim.NodeID]bool)}
 
 	// replanFrom computes a fresh hop path holder→t around the known-dead
 	// nodes and the liveness table's current suspects: first through the
@@ -466,6 +635,14 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 	replanFrom := func(holder sim.NodeID) ([]sim.NodeID, string, bool) {
 		avoid := src.dead
 		suspects := nw.Live.AvoidSet(holder, t)
+		// Reputation enters recovery planning only through the soft weights in
+		// costWeight below — never as a hard avoid set. Hard-avoiding every
+		// low-score node routinely leaves no plannable path at high adversary
+		// density (most low scores are framed bystanders), and each "no path"
+		// escape burns a launch slot the query needed for real attempts.
+		if len(src.extraAvoid) > 0 {
+			suspects = mergeAvoid(suspects, src.extraAvoid)
+		}
 		if len(suspects) > 0 {
 			avoid = make(map[sim.NodeID]bool, len(src.dead)+len(suspects))
 			for v := range src.dead {
@@ -481,15 +658,15 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 			if out.PlanFallback {
 				plan = planLDelFallback
 			}
-			if lossAware && nw.applyLossDetour(&out, t, avoid) {
+			if (lossAware || repAware) && nw.applyLossDetour(&out, t, avoid, repAware) {
 				src.detours++
 				plan = planLDelETX
 			}
 			return out.Path, plan, true
 		}
 		suspectsOnly := out.Reached && !pathHitsAny(out.Path, src.dead)
-		if lossAware {
-			if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, avoid)); ok {
+		if lossAware || repAware {
+			if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.costWeight(t, avoid, repAware)); ok {
 				if suspectsOnly {
 					src.suspectDetours++
 					return p, planSuspectAvoid, true
@@ -507,8 +684,8 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		if len(suspects) > 0 {
 			// No path clears every suspect: readmit them and avoid only the
 			// nodes whose retry budgets actually died on this query.
-			if lossAware {
-				if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.etxWeight(t, src.dead)); ok {
+			if lossAware || repAware {
+				if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.costWeight(t, src.dead, repAware)); ok {
 					return p, planLDelETX, true
 				}
 			}
@@ -516,19 +693,61 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 				return p, planLDelAvoid, true
 			}
 		}
+		if verif {
+			// Even the dead set cuts holder from t. Under adversaries that
+			// set is itself unreliable — a frame-shifting forger fills it
+			// with innocent neighbors of the corridor until the target looks
+			// disconnected — so as a last resort readmit it. If a readmitted
+			// node really is dead the launch fails verification and the
+			// relaunch machinery owns the failure; if it was framed, the
+			// query gets through. Reputation weights (when on) still steer
+			// the path toward the least-distrusted of the readmitted nodes.
+			if lossAware || repAware {
+				if p, _, ok := nw.LDel.ShortestPathWeighted(holder, t, nw.costWeight(t, nil, repAware)); ok {
+					return p, planLDelETX, true
+				}
+			}
+			if p, _, ok := nw.LDel.ShortestPathAvoiding(holder, t, nil); ok {
+				return p, planLDelAvoid, true
+			}
+		}
 		return nil, "", false
 	}
 
 	// sendData starts (and registers) one transfer from v to `to`; plan tags
-	// the planner whose path this leg executes.
-	sendData := func(ctx *sim.Context, me *rnode, round int, to sim.NodeID, path []sim.NodeID, payload int, plan string) {
-		m := rdataMsg{n: me.nextN, src: s, path: path, payload: payload, plan: plan}
+	// the planner whose path this leg executes, launch the epoch the payload
+	// belongs to.
+	sendData := func(ctx *sim.Context, me *rnode, round int, to sim.NodeID, path []sim.NodeID, payload int, plan string, launch int) {
+		m := rdataMsg{n: me.nextN, src: s, path: path, payload: payload, plan: plan, launch: launch}
 		me.nextN++
 		if tr != nil {
 			tr.Emit(trace.Event{Kind: trace.KindHopSend, Round: round, From: int(ctx.ID()), To: int(to), Seq: m.n, Attempt: 1, Plan: plan})
 		}
 		ctx.SendAdHoc(to, m)
 		me.pends = append(me.pends, &rpending{to: to, msg: m, sentAt: round, attempts: 1})
+	}
+
+	// strandMisroute parks a payload an honest holder cannot forward — the
+	// previous hop handed it a plan that does not start at one of the
+	// holder's neighbors, i.e. the payload was misrouted — and notifies the
+	// source, blaming the forwarder. The existing nack/resume machinery then
+	// replans around the adversary and resumes from here. Only runs under
+	// verification (a trusted network never produces unforwardable plans).
+	strandMisroute := func(ctx *sim.Context, me *rnode, round int, v sim.NodeID, payload int, blame sim.NodeID, launch int) {
+		me.misdetect++
+		me.nextN++
+		sd := &rstrand{seq: me.nextN, payload: payload, sentAt: round, attempts: 1, dead: blame, launch: launch}
+		me.strands = append(me.strands, sd)
+		if tr != nil {
+			tr.Emit(trace.Event{Kind: trace.KindMisrouteDetected, Round: round, From: int(v), To: int(blame), Seq: sd.seq})
+		}
+		if nw.Live.Suspect(blame) {
+			me.suspects++
+			if tr != nil {
+				tr.Emit(trace.Event{Kind: trace.KindSuspect, Round: round, From: int(v), To: int(blame)})
+			}
+		}
+		ctx.SendLong(s, nackMsg{seq: sd.seq, dead: blame, launch: launch})
 	}
 
 	nw.Sim.SetAllProtos(func(v sim.NodeID) sim.Proto {
@@ -548,7 +767,10 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					if v == s && !src.havePos {
 						src.havePos = true
 						if len(rep.Path) > 1 {
-							sendData(ctx, me, round, rep.Path[1], rep.Path[2:], opt.PayloadWords, initialPlan)
+							src.launchedAt = round
+							src.resumeBudget = len(rep.Path) + 2*retries
+							src.noteLaunchPath(rep.Path, s, t)
+							sendData(ctx, me, round, rep.Path[1], rep.Path[2:], opt.PayloadWords, initialPlan, src.launch)
 						} else {
 							// A plan of one node with s != t cannot deliver.
 							me.misrouted = true
@@ -561,18 +783,37 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					if me.seen[env.From][msg.n] {
 						continue
 					}
+					if me.seen == nil {
+						me.seen = make(map[sim.NodeID]map[int]bool)
+					}
 					if me.seen[env.From] == nil {
 						me.seen[env.From] = make(map[int]bool)
 					}
 					me.seen[env.From][msg.n] = true
 					me.hopsIn++
 					switch {
-					case v == t && len(msg.path) == 0:
+					case v == t && (len(msg.path) == 0 || verif):
+						// Arrival at the destination delivers; under
+						// verification even with plan leftover (a misroute
+						// can land the payload at t early).
 						me.delivered = true
 					case len(msg.path) == 0:
-						me.misrouted = true
+						if verif {
+							// Plan exhausted at the wrong node: the payload
+							// was misrouted here. Blame the forwarder and ask
+							// the source for a fresh remaining path.
+							strandMisroute(ctx, me, round, v, msg.payload, env.From, msg.launch)
+						} else {
+							me.misrouted = true
+						}
+					case verif && !nw.G.HasEdge(v, msg.path[0]):
+						// The planned next hop is not our neighbor: a
+						// misrouted payload whose plan we cannot legally
+						// follow (strict mode would abort the run). Same
+						// recovery as plan exhaustion.
+						strandMisroute(ctx, me, round, v, msg.payload, env.From, msg.launch)
 					default:
-						sendData(ctx, me, round, msg.path[0], msg.path[1:], msg.payload, msg.plan)
+						sendData(ctx, me, round, msg.path[0], msg.path[1:], msg.payload, msg.plan, msg.launch)
 					}
 				case hopAck:
 					for i, p := range me.pends {
@@ -585,22 +826,109 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 							break
 						}
 					}
+				case verifyQuery:
+					// End-to-end verification poll: answer truthfully —
+					// unless this node is a colluding adversary covering for
+					// a fellow adversary's discarded payload, in which case
+					// the confirmation is forged.
+					d := me.delivered
+					if !d && verif && nw.Sim.AdversaryLaundered(env.From, v) {
+						d = true
+					}
+					ctx.SendLong(env.From, verifyReply{n: msg.n, delivered: d})
+				case verifyReply:
+					if v != s || msg.n != src.launch || src.verified || src.failure != "" {
+						continue
+					}
+					if msg.delivered {
+						src.verified = true
+						if repAware {
+							// Credit every interior node of the verified
+							// launch's paths.
+							for _, u := range src.launchVia {
+								nw.Rep.Observe(u, true)
+							}
+						}
+					} else {
+						src.verFails++
+					}
 				case nackMsg:
 					if v != s || !src.havePos || src.failure != "" {
 						continue
 					}
-					if !src.dead[msg.dead] {
+					// Past the deadline no fresh corridor may be opened. The
+					// timers below already stop then, but under adversaries
+					// nacks are born in inbox handlers (a misrouted payload
+					// strands wherever it lands), so without this gate the
+					// nack -> resume -> wander -> nack cycle would outlive the
+					// deadline indefinitely instead of quiescing.
+					if verif && round >= deadline {
+						continue
+					}
+					if verif && msg.launch != src.launch {
+						// The strand belongs to an epoch a relaunch already
+						// replaced: its corridor was abandoned, so release the
+						// payload instead of resuming it. Resuming would graft
+						// the stale corridor — including whoever silently
+						// swallowed its payload — into the current launch's
+						// verification record, crediting nodes the verified
+						// payload never touched.
+						ctx.SendLong(env.From, resumeMsg{seq: msg.seq})
+						continue
+					}
+					if verif && src.resumeBudget <= 0 {
+						// This launch already spent its corridor budget:
+						// release the strand instead of opening yet another
+						// corridor, and force the end-to-end relaunch timer —
+						// the relaunch replans from the source with a refilled
+						// budget and a debited reputation table.
+						ctx.SendLong(env.From, resumeMsg{seq: msg.seq})
+						src.verFails++
+						src.launchedAt = round - launchBudget
+						continue
+					}
+					if verif {
+						src.resumeBudget--
+					}
+					// Under verification a nack's blame is unreliable — a
+					// forger whose own discarded forward never got acked
+					// nacks blaming its innocent next hop, including the
+					// query endpoints themselves. Letting s or t into the
+					// dead set would poison every later replan (no path
+					// reaches an avoided target), so endpoint blame is
+					// ignored there; without adversaries blame is
+					// trustworthy and an unresponsive target rightly ends
+					// the query.
+					if !src.dead[msg.dead] && (!verif || (msg.dead != s && msg.dead != t)) {
 						src.dead[msg.dead] = true
 						src.replans++
 					}
 					full, plan, ok := replanFrom(env.From)
 					if !ok || len(full) < 2 {
+						if verif && src.launch < retries {
+							// The stranded corridor is unrecoverable from the
+							// holder. Under verification this is not fatal:
+							// release the strand and force the end-to-end
+							// relaunch timer (which replans from the source and
+							// debits the abandoned corridor). A frame-shifting
+							// forger can exhaust a holder's whole neighborhood
+							// with bogus nacks without ever cutting s from t.
+							ctx.SendLong(env.From, resumeMsg{seq: msg.seq})
+							src.verFails++
+							src.launchedAt = round - launchBudget
+							continue
+						}
 						src.failure = fmt.Sprintf("no path from %d to %d around dead nodes %v", env.From, t, deadList(src.dead))
 						continue
 					}
 					if tr != nil {
 						tr.Emit(trace.Event{Kind: trace.KindReplan, Round: round, From: int(env.From), To: int(t), Plan: plan, Value: len(src.dead)})
 					}
+					// Record the resumed leg's nodes for verification credit.
+					// Deliberately NOT a relaunch-clock reset: a forger that
+					// keeps nacking (blaming its own neighbors) must not be
+					// able to postpone the end-to-end relaunch forever.
+					src.noteLaunchPath(full, s, t)
 					ctx.SendLong(env.From, resumeMsg{seq: msg.seq, path: full[1:], plan: plan})
 				case resumeMsg:
 					for i, sd := range me.strands {
@@ -609,9 +937,15 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 						}
 						me.strands = append(me.strands[:i], me.strands[i+1:]...)
 						if len(msg.path) == 0 {
-							me.misrouted = true
+							// An empty resume under verification releases the
+							// strand: the source abandoned this corridor for a
+							// fresh launch. Without verification it means the
+							// plan cannot continue from here.
+							if !verif {
+								me.misrouted = true
+							}
 						} else {
-							sendData(ctx, me, round, msg.path[0], msg.path[1:], sd.payload, msg.plan)
+							sendData(ctx, me, round, msg.path[0], msg.path[1:], sd.payload, msg.plan, sd.launch)
 						}
 						break
 					}
@@ -630,6 +964,64 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 						src.posSentAt = round
 						me.retrans++
 						ctx.SendLong(t, posQuery{})
+					}
+				}
+				if src.failure == "" {
+					ctx.KeepAlive()
+				}
+			}
+			// Verified delivery: the source polls the destination end to end
+			// until it confirms arrival, and relaunches the payload from
+			// scratch when a launch stays unverified past its budget with
+			// nothing left in flight at the source — the case a forged hop
+			// acknowledgement produces (every hop "succeeded", the payload
+			// is gone, and no nack will ever come).
+			if verif && v == s && src.havePos && !src.verified && !me.misrouted && src.failure == "" {
+				if src.verSentAt < 0 || round >= src.verSentAt+verifyWait {
+					src.verSentAt = round
+					ctx.SendLong(t, verifyQuery{n: src.launch})
+				}
+				if src.verFails > 0 && round >= src.launchedAt+launchBudget &&
+					len(me.pends) == 0 && len(me.strands) == 0 {
+					if tr != nil {
+						tr.Emit(trace.Event{Kind: trace.KindVerifyFail, Round: round, From: int(s), To: int(t), Attempt: src.launch + 1})
+					}
+					if repAware {
+						// Debit every interior node the failed launch was
+						// routed through: the EWMA, not this one failure,
+						// decides who the next plan trusts.
+						for _, u := range src.launchVia {
+							nw.Rep.Observe(u, false)
+						}
+					}
+					if src.launch >= retries {
+						src.failure = fmt.Sprintf("delivery to %d unverified after %d launches", t, src.launch+1)
+					} else {
+						// Diversify the relaunch: prefer a corridor disjoint
+						// from the one that just failed (replanFrom readmits
+						// these if nothing else clears them). A selective-drop
+						// adversary black-holes flows deterministically, so
+						// relaunching down the same corridor fails the same
+						// way.
+						src.extraAvoid = src.launchSeen
+						full, plan, okRelaunch := replanFrom(s)
+						src.extraAvoid = nil
+						if okRelaunch && len(full) >= 2 {
+							src.launch++
+							src.verFails = 0
+							src.verSentAt = round
+							src.launchedAt = round
+							src.resumeBudget = len(full) + 2*retries
+							src.resends++
+							src.resetLaunchPath()
+							src.noteLaunchPath(full, s, t)
+							if tr != nil {
+								tr.Emit(trace.Event{Kind: trace.KindE2EResend, Round: round, From: int(s), To: int(t), Plan: plan, Value: src.resends})
+							}
+							sendData(ctx, me, round, full[1], full[2:], opt.PayloadWords, plan, src.launch)
+						} else {
+							src.failure = fmt.Sprintf("no relaunch path from %d to %d around dead nodes %v", s, t, deadList(src.dead))
+						}
 					}
 				}
 				if src.failure == "" {
@@ -675,24 +1067,36 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 					}
 					full, plan, ok := replanFrom(s)
 					if !ok || len(full) < 2 {
+						if verif && src.launch < retries {
+							// Mirror the nack handler's escape: under
+							// verification an unplannable local replan is not
+							// fatal — force the end-to-end relaunch timer,
+							// which replans from scratch with a debited
+							// reputation table.
+							src.verFails++
+							src.launchedAt = round - launchBudget
+							continue
+						}
 						src.failure = fmt.Sprintf("no path from %d to %d around dead nodes %v", s, t, deadList(src.dead))
 						continue
 					}
 					if tr != nil {
 						tr.Emit(trace.Event{Kind: trace.KindReplan, Round: round, From: int(s), To: int(t), Plan: plan, Value: len(src.dead)})
 					}
-					sendData(ctx, me, round, full[1], full[2:], p.msg.payload, plan)
+					src.launchedAt = round
+					src.noteLaunchPath(full, s, t)
+					sendData(ctx, me, round, full[1], full[2:], p.msg.payload, plan, src.launch)
 				} else {
 					// The first failure notice is a first send, not a
 					// retransmission — only the timer-driven nack resends
 					// below count, matching sendData's semantics.
 					me.nextN++
-					sd := &rstrand{seq: me.nextN, payload: p.msg.payload, sentAt: round, attempts: 1, dead: p.to}
+					sd := &rstrand{seq: me.nextN, payload: p.msg.payload, sentAt: round, attempts: 1, dead: p.to, launch: p.msg.launch}
 					me.strands = append(me.strands, sd)
 					if tr != nil {
 						tr.Emit(trace.Event{Kind: trace.KindHopNack, Round: round, From: int(v), To: int(p.to), Seq: sd.seq, Attempt: 1, Plan: p.msg.plan})
 					}
-					ctx.SendLong(s, nackMsg{seq: sd.seq, dead: p.to})
+					ctx.SendLong(s, nackMsg{seq: sd.seq, dead: p.to, launch: sd.launch})
 				}
 			}
 			// Nack retransmission timers (waiting for a resume).
@@ -717,7 +1121,7 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 				if tr != nil {
 					tr.Emit(trace.Event{Kind: trace.KindHopNack, Round: round, From: int(v), To: int(sd.dead), Seq: sd.seq, Attempt: sd.attempts})
 				}
-				ctx.SendLong(s, nackMsg{seq: sd.seq, dead: sd.dead})
+				ctx.SendLong(s, nackMsg{seq: sd.seq, dead: sd.dead, launch: sd.launch})
 				i++
 			}
 			if len(me.pends) > 0 || len(me.strands) > 0 {
@@ -731,10 +1135,13 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		rep.Replans = src.replans
 		rep.Detours += src.detours
 		rep.SuspectDetours += src.suspectDetours
+		rep.Verified = src.verified
+		rep.E2EResends = src.resends
 		for v := range st {
 			rep.Retransmits += st[v].retrans
 			rep.DataHops += st[v].hopsIn
 			rep.Suspected += st[v].suspects
+			rep.MisrouteDetected += st[v].misdetect
 		}
 	}
 	if _, err := nw.Sim.Run(); err != nil {
@@ -746,17 +1153,41 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		return rep, err
 	}
 	fillDiagnostics()
+	if verif && repAware && !src.verified && len(src.launchVia) > 0 {
+		// The run ended (deadline or failure) with the last launch never
+		// verified and never debited: fold the debit now, so the next query
+		// on this network plans around the nodes that swallowed it.
+		for _, u := range src.launchVia {
+			nw.Rep.Observe(u, false)
+		}
+	}
 	// Feed the ack outcomes back into the link-quality estimates and the
 	// liveness table's probation counters, in node order so the fold is
 	// deterministic. Clean first-attempt successes are no-ops inside Observe
 	// and ObserveAck ignores unsuspected nodes, so lossless runs leave both
-	// untouched.
+	// untouched. Under adversaries two corrections apply: a telemetry-lying
+	// node's own observations are inverted (it frames whatever it touched as
+	// dead), and probation credit requires end-to-end verification of the
+	// path the node was actually on — a forged hop ack looks clean one hop
+	// upstream, so it must not readmit a suspect, not even when the query
+	// later delivered via a relaunch around the forger.
+	creditTo := func(to sim.NodeID) bool {
+		if !verif {
+			return true
+		}
+		return src.verified && (src.launchSeen[to] || to == t)
+	}
 	for v := range st {
+		liar := verif && nw.Sim.AdversaryBehaviorOf(sim.NodeID(v))&sim.AdvLieTelemetry != 0
 		for _, o := range st[v].obs {
-			if nw.Link != nil {
-				nw.Link.Observe(sim.NodeID(v), o.to, o.attempts, o.acked)
+			attempts, acked := o.attempts, o.acked
+			if liar {
+				attempts, acked = retries+1, false
 			}
-			nw.Live.ObserveAck(o.to, o.attempts, o.acked)
+			if nw.Link != nil {
+				nw.Link.Observe(sim.NodeID(v), o.to, attempts, acked)
+			}
+			nw.Live.ObserveAck(o.to, attempts, acked && creditTo(o.to))
 		}
 	}
 	if rep.DeliveredSim {
@@ -776,6 +1207,24 @@ func (nw *Network) deliverReliable(planner planSource, s, t sim.NodeID, opt Tran
 		}
 	}
 	return rep, fmt.Errorf("core: payload did not arrive at %d within %d rounds (retries %d)", t, timeout, retries)
+}
+
+// mergeAvoid unions two avoid sets, reusing either when the other is empty.
+func mergeAvoid(a, b map[sim.NodeID]bool) map[sim.NodeID]bool {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(map[sim.NodeID]bool, len(a)+len(b))
+	for v := range a {
+		out[v] = true
+	}
+	for v := range b {
+		out[v] = true
+	}
+	return out
 }
 
 // pathHitsAny reports whether any node of path is in the set.

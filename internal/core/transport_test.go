@@ -241,7 +241,7 @@ func TestMisroutedPlanNamesTheNode(t *testing.T) {
 		rep.Outcome.Path = truncated
 		var err error
 		if reliable {
-			_, err = nw.deliverReliable(nw, s, d, TransportOptions{PayloadWords: 8}, rep, false, "network")
+			_, err = nw.deliverReliable(nw, s, d, TransportOptions{PayloadWords: 8}, rep, false, false, "network")
 		} else {
 			_, err = nw.deliverLossless(s, d, 8, rep, "network")
 		}
@@ -454,6 +454,37 @@ func TestReliableTransportParallelSim(t *testing.T) {
 		if !transportReportsEqual(rs, rp) {
 			t.Fatalf("%d->%d: parallel transport diverged:\n%+v\n%+v", s, d, rs, rp)
 		}
+	}
+}
+
+// TestReliableTransportAllocsSublinear is the satellite-2 regression gate: a
+// warm reliable delivery must not allocate per-node scratch beyond the one
+// unavoidable proto installation pass. The old code eagerly allocated a
+// duplicate-filter map for every node (n extra allocations), two n-sized
+// counter snapshots for the message-cost probe, and an n-sized misrouted
+// scratch slice — pushing the count past 2n. The lazy/sparse replacements
+// keep a warm run under 1.6n with a wide margin (~1.2n measured).
+func TestReliableTransportAllocsSublinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate is not short")
+	}
+	nw := prepScenario(t, 0.55, 24, 24, 1.8)
+	n := float64(nw.G.N())
+	s, d := transportPair(t, nw)
+	nw.Sim.Teach(s, d)
+	opt := TransportOptions{PayloadWords: 16, Reliable: true}
+	if _, err := nw.RouteOnSimOpt(s, d, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		rep, err := nw.RouteOnSimOpt(s, d, opt)
+		if err != nil || !rep.DeliveredSim {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.6*n {
+		t.Fatalf("warm reliable delivery allocates %.0f times for %d nodes (%.2f/node), want < 1.6/node",
+			allocs, nw.G.N(), allocs/n)
 	}
 }
 

@@ -68,6 +68,8 @@ func traceReportsEqual(a, b *core.TraceReport) bool {
 		a.Retransmits != b.Retransmits || a.HopRetrans != b.HopRetrans ||
 		a.Replans != b.Replans || a.Nacks != b.Nacks || a.Err != b.Err ||
 		a.TraversedLength != b.TraversedLength || a.CompetitiveRatio != b.CompetitiveRatio ||
+		a.Verified != b.Verified || a.E2EResends != b.E2EResends ||
+		a.VerifyFails != b.VerifyFails || a.MisrouteDetected != b.MisrouteDetected ||
 		len(a.Hops) != len(b.Hops) {
 		return false
 	}

@@ -9,7 +9,9 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hybridroute/internal/sim"
@@ -76,7 +78,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Do(req)
 	if err != nil {
-		writeShed(w, err)
+		s.writeShed(w, err)
 		return
 	}
 	out := routeResponse{
@@ -109,11 +111,15 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(out)
 }
 
-// writeShed maps an admission error onto its backpressure status code.
-func writeShed(w http.ResponseWriter, err error) {
+// writeShed maps an admission error onto its backpressure status code. The
+// Retry-After hint is derived from the observed drain rate and the current
+// backlog, not hardcoded: a server clearing 1000 q/s with 10 queued should
+// invite the client straight back, one wedged behind a slow simulator with a
+// full queue should not.
+func (s *Server) writeShed(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSourceShare):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrNotStarted):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -122,6 +128,31 @@ func writeShed(w http.ResponseWriter, err error) {
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// retryAfter derives the shed hint from the current queue depth and the
+// drain rate the fold loop last observed.
+func (s *Server) retryAfter() int {
+	return retryAfterHint(len(s.queue), math.Float64frombits(s.drainRate.Load()))
+}
+
+// retryAfterHint is the pure derivation: the whole seconds the current
+// backlog needs to clear at the observed completion rate, at least 1, capped
+// at 30 — past that the hint stops being scheduling advice and becomes an
+// outage signal the client should answer with its own backoff. With no rate
+// observed yet (cold server) it degrades to the old constant of 1.
+func retryAfterHint(depth int, rate float64) int {
+	if rate <= 0 || depth <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(depth) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

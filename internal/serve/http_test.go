@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -181,4 +182,70 @@ func TestHTTPAPI(t *testing.T) {
 func itoa(n int) string {
 	b, _ := json.Marshal(n)
 	return string(b)
+}
+
+// TestRetryAfterDerivedFromDrainRate pins the satellite bugfix: the 429
+// Retry-After hint is ceil(queue depth / observed drain rate) clamped to
+// [1, 30], not a hardcoded second.
+func TestRetryAfterDerivedFromDrainRate(t *testing.T) {
+	cases := []struct {
+		depth int
+		rate  float64
+		want  int
+	}{
+		{0, 100, 1},   // empty queue: come right back
+		{10, 0, 1},    // no rate observed yet: cold default
+		{10, 1000, 1}, // fast drain: floor at 1
+		{100, 50, 2},  // 100 queued at 50/s
+		{5, 2, 3},     // ceil(2.5)
+		{1000, 1, 30}, // wedged server: clamp
+		{7, -1, 1},    // defensive: negative rate
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.depth, c.rate); got != c.want {
+			t.Errorf("retryAfterHint(%d, %v) = %d, want %d", c.depth, c.rate, got, c.want)
+		}
+	}
+
+	// End to end: park the worker, saturate the queue, install a known drain
+	// rate, and read the derived hint off the wire.
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 1, QueueSize: 2, MaxSourceFraction: 1})
+	g := newGate()
+	srv.workerGate = g.hook()
+	srv.Start()
+	released := false
+	defer func() {
+		if !released {
+			close(g.release)
+		}
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, src := range []string{"a", "b", "c"} {
+		src := src
+		go func() { _, _ = postRoute(t, ts, `{"s":0,"t":5,"source":"`+src+`"}`) }()
+	}
+	for start := time.Now(); srv.ServerStats().Accepted != 3; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("timed out waiting for saturation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// 2 queued, draining at an observed 0.5 q/s → ceil(2/0.5) = 4 seconds.
+	srv.drainRate.Store(math.Float64bits(0.5))
+	resp, _ := postRoute(t, ts, `{"s":0,"t":5,"source":"y"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "4" {
+		t.Fatalf("Retry-After = %q, want 4 (depth 2 at 0.5 q/s)", got)
+	}
+	released = true
+	close(g.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
 }

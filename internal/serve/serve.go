@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -161,6 +162,16 @@ type Server struct {
 	pub          []pubCounter
 	exportEvents []trace.Event
 	lastExport   time.Time
+
+	// Observed drain rate in completed queries/sec, EWMA-folded by fold().
+	// The Retry-After hint on shed admissions is derived from it, so the
+	// hint tracks how fast this server actually clears backlog instead of
+	// being a hardcoded constant. drainAt/drainDone are the previous fold's
+	// sample (foldMu); drainRate is atomic so the HTTP shed path reads it
+	// without the fold lock.
+	drainRate atomic.Uint64 // math.Float64bits
+	drainAt   time.Time
+	drainDone uint64
 
 	workerGate func() // test hook: invoked by a worker after dequeue
 
@@ -476,6 +487,20 @@ func (s *Server) fold() {
 		s.reg.SetGauge("hybridroute_serve_latency_avg_us",
 			float64(s.latSumNs.Load())/float64(done)/1e3)
 	}
+	now := time.Now()
+	done := s.completed.Load()
+	if !s.drainAt.IsZero() {
+		if dt := now.Sub(s.drainAt).Seconds(); dt > 0 {
+			inst := float64(done-s.drainDone) / dt
+			rate := inst
+			if old := math.Float64frombits(s.drainRate.Load()); old > 0 {
+				rate = 0.5*old + 0.5*inst
+			}
+			s.drainRate.Store(math.Float64bits(rate))
+			s.reg.SetGauge("hybridroute_serve_drain_rate_qps", rate)
+		}
+	}
+	s.drainAt, s.drainDone = now, done
 	st := s.eng.Stats()
 	s.reg.SetGauge("hybridroute_serve_cache_hit_rate", st.HitRate())
 }

@@ -1,0 +1,391 @@
+// Byzantine adversary model: seeded per-node adversarial behaviors layered on
+// the fault injector. Where the loss model drops messages blindly, an
+// adversarial node acts on *payload-class* traffic with intent: it misroutes
+// payloads to a wrong neighbor, black-holes selected flows, or acknowledges a
+// payload and then discards it (the forged ack — invisible to hop-by-hop
+// detection, which is exactly what the transport's end-to-end verification
+// exists to catch). Every decision is a pure function of (seed, node, flow,
+// per-sender sequence), so runs stay bit-reproducible under parallel stepping
+// — the same discipline as the loss model, no shared RNG.
+
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// AdversaryBehavior is a bitmask of the behaviors an adversarial node runs.
+type AdversaryBehavior uint8
+
+const (
+	// AdvMisroute forwards payloads to a deterministically chosen wrong
+	// neighbor instead of the planned next hop. The receiver holds a plan it
+	// may be unable to follow; honest holders detect and report that.
+	AdvMisroute AdversaryBehavior = 1 << iota
+	// AdvSelectiveDrop black-holes payloads of selected flows (by a hash of
+	// the flow's destination) before they reach the adversary's protocol:
+	// no ack is ever sent, so the upstream hop retries and eventually
+	// suspects the adversary — the fail-stop-shaped attack.
+	AdvSelectiveDrop
+	// AdvForgeAck acknowledges a payload and then discards it: the honest
+	// protocol code at the adversary acks on receipt, and the adversary's
+	// outgoing forward silently vanishes. Hop-by-hop telemetry sees a clean
+	// transfer; only end-to-end verification notices the payload is gone.
+	AdvForgeAck
+	// AdvLieTelemetry makes the node report false link telemetry: the
+	// transport's post-run fold inverts the liar's observations (framing its
+	// honest neighbors as lossy). The simulator only flags the node; the
+	// transport implements the lie at fold time.
+	AdvLieTelemetry
+
+	// AdvAll enables every behavior.
+	AdvAll = AdvMisroute | AdvSelectiveDrop | AdvForgeAck | AdvLieTelemetry
+)
+
+// String renders the bitmask as "misroute+drop+forge+lie".
+func (b AdversaryBehavior) String() string {
+	var parts []string
+	if b&AdvMisroute != 0 {
+		parts = append(parts, "misroute")
+	}
+	if b&AdvSelectiveDrop != 0 {
+		parts = append(parts, "drop")
+	}
+	if b&AdvForgeAck != 0 {
+		parts = append(parts, "forge")
+	}
+	if b&AdvLieTelemetry != 0 {
+		parts = append(parts, "lie")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseBehaviors parses a '+'-separated behavior list ("misroute+forge",
+// "all") into a bitmask. An empty string means AdvAll.
+func ParseBehaviors(s string) (AdversaryBehavior, error) {
+	if s == "" || s == "all" {
+		return AdvAll, nil
+	}
+	var b AdversaryBehavior
+	for _, tok := range strings.Split(s, "+") {
+		switch strings.TrimSpace(tok) {
+		case "misroute":
+			b |= AdvMisroute
+		case "drop":
+			b |= AdvSelectiveDrop
+		case "forge":
+			b |= AdvForgeAck
+		case "lie":
+			b |= AdvLieTelemetry
+		case "all":
+			b |= AdvAll
+		default:
+			return 0, fmt.Errorf("sim: unknown adversary behavior %q (want misroute, drop, forge, lie or all)", tok)
+		}
+	}
+	return b, nil
+}
+
+// AdversaryConfig selects which nodes act adversarially and how. Part of
+// FaultConfig; the zero value configures no adversaries.
+type AdversaryConfig struct {
+	// Fraction of nodes turned adversarial by a seeded hash over node IDs
+	// (each node is elected independently). Must be in [0, 1].
+	Fraction float64
+	// Behaviors enabled on every adversarial node; zero means AdvAll. When
+	// several forwarding behaviors are enabled, each flow elects one by hash,
+	// so a run mixes misrouted, black-holed and ack-forged flows.
+	Behaviors AdversaryBehavior
+	// Nodes lists explicitly adversarial nodes (in addition to the Fraction
+	// election) — e.g. colluding query endpoints.
+	Nodes []NodeID
+	// Exempt lists nodes the Fraction election must skip (typically query
+	// endpoints, so a sweep's pairs stay answerable). Explicit Nodes override
+	// an exemption.
+	Exempt []NodeID
+	// Collude makes adversaries cover for each other: when an adversary
+	// discards a payload whose flow terminates at another adversary, the
+	// colluding destination forges the end-to-end delivery confirmation. The
+	// transport reads the laundered-flow set to simulate the forged confirm.
+	Collude bool
+	// DropEvery is the selective-drop rate: one in DropEvery flows (by
+	// destination hash) is black-holed; <= 0 means 2.
+	DropEvery int
+}
+
+// configured reports whether the config can make any node adversarial.
+func (a AdversaryConfig) configured() bool {
+	return a.Fraction > 0 || len(a.Nodes) > 0
+}
+
+// AdvCounters aggregates one adversarial node's actions.
+type AdvCounters struct {
+	Misrouted      int // payloads redirected to a wrong neighbor
+	ForgedAcks     int // payloads discarded after the hop ack went out
+	SelectiveDrops int // payloads black-holed before delivery
+}
+
+// advCounters is the runtime (atomic) form: selective drops are decided on
+// the sender's goroutine but attributed to the adversarial receiver, so
+// several goroutines may bump one adversary's counters concurrently.
+type advCounters struct {
+	misrouted, forged, dropped atomic.Int64
+}
+
+// advState is the runtime adversary state inside faultState.
+type advState struct {
+	behaviors []AdversaryBehavior // per-node mask, 0 = honest
+	counters  []advCounters
+	collude   bool
+	dropEvery uint64
+	liars     int // nodes with AdvLieTelemetry (for quick inertness checks)
+
+	// laundered records flows (src → dst) whose payload an adversary
+	// discarded while the destination is a colluding adversary: the
+	// destination will forge the delivery confirmation. Written under mu
+	// from sender goroutines; the set's content is a pure function of the
+	// seeded decisions, so determinism survives the lock.
+	mu        sync.Mutex
+	laundered map[[2]NodeID]bool
+}
+
+// PayloadMessage marks a payload-bearing hop message so the adversary model
+// can tell forwarding work from control chatter (position lookups, acks,
+// nacks, confirmations pass untouched — that is what makes ack forging
+// invisible hop by hop). FlowDst is the flow's final destination; FlowSrc its
+// query source.
+type PayloadMessage interface {
+	FlowSrc() NodeID
+	FlowDst() NodeID
+}
+
+// buildAdversary validates and compiles the config; n is the node count.
+func buildAdversary(a AdversaryConfig, seed uint64, n int) (*advState, error) {
+	if !(a.Fraction >= 0 && a.Fraction <= 1) {
+		return nil, fmt.Errorf("sim: adversary fraction %v outside [0, 1]", a.Fraction)
+	}
+	for _, v := range a.Nodes {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("sim: adversary node %d out of range [0, %d)", v, n)
+		}
+	}
+	for _, v := range a.Exempt {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("sim: adversary exempt node %d out of range [0, %d)", v, n)
+		}
+	}
+	if !a.configured() {
+		return nil, nil
+	}
+	behaviors := a.Behaviors
+	if behaviors == 0 {
+		behaviors = AdvAll
+	}
+	st := &advState{
+		behaviors: make([]AdversaryBehavior, n),
+		counters:  make([]advCounters, n),
+		collude:   a.Collude,
+		dropEvery: 2,
+		laundered: make(map[[2]NodeID]bool),
+	}
+	if a.DropEvery > 0 {
+		st.dropEvery = uint64(a.DropEvery)
+	}
+	exempt := make(map[NodeID]bool, len(a.Exempt))
+	for _, v := range a.Exempt {
+		exempt[v] = true
+	}
+	if a.Fraction > 0 {
+		for v := 0; v < n; v++ {
+			if exempt[NodeID(v)] {
+				continue
+			}
+			// Independent seeded election, same hash family as the drop
+			// stream (salted so the two streams never correlate).
+			if faultRoll(seed^0xadbeadbead, NodeID(v), NodeID(v), 0) < a.Fraction {
+				st.behaviors[v] = behaviors
+			}
+		}
+	}
+	for _, v := range a.Nodes {
+		st.behaviors[v] = behaviors
+	}
+	for _, b := range st.behaviors {
+		if b&AdvLieTelemetry != 0 {
+			st.liars++
+		}
+	}
+	return st, nil
+}
+
+// any reports whether at least one node is adversarial.
+func (a *advState) any() bool {
+	if a == nil {
+		return false
+	}
+	for _, b := range a.behaviors {
+		if b != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// advAction is the outcome of the intercept for one payload-class send.
+type advAction uint8
+
+const (
+	advPass     advAction = iota // deliver unchanged
+	advRedirect                  // deliver to a different (wrong) neighbor
+	advDiscard                   // the message vanishes
+)
+
+// intercept decides the fate of one payload-class send from `from` to `to`.
+// seq is the sender's current send sequence (read before dropSend advances
+// it), giving each send decision-independent randomness without perturbing
+// the loss stream. Returns the action and, for advRedirect, the new receiver.
+//
+// Decision order: a black-holed flow at an adversarial *receiver* vanishes
+// first (no ack ever — the fail-stop-shaped attack); then an adversarial
+// *sender* elects per flow between forging (discard after its honest ack
+// already went out) and misrouting.
+func (f *faultState) intercept(g graphView, from, to NodeID, src, dst NodeID, seq uint64) (advAction, NodeID) {
+	a := f.adversary
+	// Selective drop at the receiving adversary: flow-selected payloads
+	// never arrive, so the honest upstream hop sees a dead neighbor.
+	if a.behaviors[to]&AdvSelectiveDrop != 0 &&
+		splitmix64(f.seed^0x5e1ec7ed^uint64(to)^uint64(dst)<<20)%a.dropEvery == 0 {
+		a.counters[to].dropped.Add(1)
+		a.maybeLaunder(src, dst)
+		return advDiscard, to
+	}
+	b := a.behaviors[from]
+	forge := b&AdvForgeAck != 0
+	mis := b&AdvMisroute != 0
+	if !forge && !mis {
+		return advPass, to
+	}
+	if forge && mis {
+		// Both enabled: each flow elects one, so a run mixes the attacks.
+		if splitmix64(f.seed^0xe1ec7^uint64(from)^uint64(src)<<16^uint64(dst)<<32)%2 == 0 {
+			mis = false
+		} else {
+			forge = false
+		}
+	}
+	if forge {
+		a.counters[from].forged.Add(1)
+		a.maybeLaunder(src, dst)
+		return advDiscard, from
+	}
+	// Misroute: pick a deterministic wrong neighbor. A sender whose only
+	// neighbor is the planned hop has nowhere to misroute to; pass.
+	nbrs := g.Neighbors(from)
+	if len(nbrs) < 2 {
+		return advPass, to
+	}
+	pick := nbrs[int(splitmix64(f.seed^0x315c0de^uint64(from)^seq<<8)%uint64(len(nbrs)))]
+	if pick == to {
+		pick = nbrs[0]
+		if pick == to {
+			pick = nbrs[1]
+		}
+	}
+	a.counters[from].misrouted.Add(1)
+	return advRedirect, pick
+}
+
+// maybeLaunder records a discarded flow whose destination colludes: the
+// colluding destination will forge the end-to-end delivery confirmation.
+func (a *advState) maybeLaunder(src, dst NodeID) {
+	if !a.collude || a.behaviors[dst] == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.laundered[[2]NodeID{src, dst}] = true
+	a.mu.Unlock()
+}
+
+// graphView is the neighbor oracle the intercept needs (satisfied by
+// *udg.Graph via the simulator).
+type graphView interface {
+	Neighbors(v NodeID) []NodeID
+}
+
+// AdversaryActive reports whether the installed fault model includes at
+// least one adversarial node.
+func (s *Sim) AdversaryActive() bool {
+	return s.faults != nil && s.faults.adversary.any()
+}
+
+// AdversaryBehaviorOf returns v's behavior mask (0 for honest nodes or when
+// no adversary model is installed).
+func (s *Sim) AdversaryBehaviorOf(v NodeID) AdversaryBehavior {
+	if s.faults == nil || s.faults.adversary == nil {
+		return 0
+	}
+	return s.faults.adversary.behaviors[v]
+}
+
+// AdversaryNodes returns the sorted list of adversarial nodes.
+func (s *Sim) AdversaryNodes() []NodeID {
+	if s.faults == nil || s.faults.adversary == nil {
+		return nil
+	}
+	var out []NodeID
+	for v, b := range s.faults.adversary.behaviors {
+		if b != 0 {
+			out = append(out, NodeID(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AdversaryCountersOf returns the actions attributed to adversary v.
+func (s *Sim) AdversaryCountersOf(v NodeID) AdvCounters {
+	if s.faults == nil || s.faults.adversary == nil {
+		return AdvCounters{}
+	}
+	c := &s.faults.adversary.counters[v]
+	return AdvCounters{
+		Misrouted:      int(c.misrouted.Load()),
+		ForgedAcks:     int(c.forged.Load()),
+		SelectiveDrops: int(c.dropped.Load()),
+	}
+}
+
+// AdversaryCounters sums adversarial actions across all nodes.
+func (s *Sim) AdversaryCounters() AdvCounters {
+	var t AdvCounters
+	if s.faults == nil || s.faults.adversary == nil {
+		return t
+	}
+	for i := range s.faults.adversary.counters {
+		c := &s.faults.adversary.counters[i]
+		t.Misrouted += int(c.misrouted.Load())
+		t.ForgedAcks += int(c.forged.Load())
+		t.SelectiveDrops += int(c.dropped.Load())
+	}
+	return t
+}
+
+// AdversaryLaundered reports whether an adversary discarded a payload of the
+// flow src → dst while dst colludes — i.e. whether the colluding destination
+// forges the end-to-end delivery confirmation for that flow.
+func (s *Sim) AdversaryLaundered(src, dst NodeID) bool {
+	if s.faults == nil || s.faults.adversary == nil {
+		return false
+	}
+	a := s.faults.adversary
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.laundered[[2]NodeID{src, dst}]
+}

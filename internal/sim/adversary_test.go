@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridroute/internal/geom"
+	"hybridroute/internal/udg"
+)
+
+// advPayload is a payload-class test message (implements PayloadMessage).
+type advPayload struct {
+	src, dst NodeID
+	rem      int // remaining forwards
+}
+
+func (p advPayload) Words() int      { return 4 }
+func (p advPayload) FlowSrc() NodeID { return p.src }
+func (p advPayload) FlowDst() NodeID { return p.dst }
+
+func TestParseBehaviors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want AdversaryBehavior
+	}{
+		{"", AdvAll},
+		{"all", AdvAll},
+		{"misroute", AdvMisroute},
+		{"drop", AdvSelectiveDrop},
+		{"forge", AdvForgeAck},
+		{"lie", AdvLieTelemetry},
+		{"misroute+forge", AdvMisroute | AdvForgeAck},
+		{"forge + lie", AdvForgeAck | AdvLieTelemetry},
+	}
+	for _, c := range cases {
+		got, err := ParseBehaviors(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBehaviors(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseBehaviors("bogus"); err == nil {
+		t.Error("unknown behavior must be rejected")
+	}
+	if s := (AdvMisroute | AdvForgeAck).String(); s != "misroute+forge" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := AdversaryBehavior(0).String(); s != "none" {
+		t.Errorf("zero mask String() = %q", s)
+	}
+}
+
+func TestAdversaryConfigValidation(t *testing.T) {
+	g := udg.Build([]geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}, 1)
+	s := New(g, Config{})
+	for _, cfg := range []FaultConfig{
+		{Adversary: AdversaryConfig{Fraction: 1.5}},
+		{Adversary: AdversaryConfig{Fraction: -0.1}},
+		{Adversary: AdversaryConfig{Nodes: []NodeID{9}}},
+		{Adversary: AdversaryConfig{Fraction: 0.5, Exempt: []NodeID{-1}}},
+	} {
+		if err := s.SetFaults(cfg); err == nil {
+			t.Errorf("config %+v must be rejected", cfg.Adversary)
+		}
+	}
+	// A valid explicit-node config activates the adversary model.
+	if err := s.SetFaults(FaultConfig{Adversary: AdversaryConfig{Nodes: []NodeID{1}, Behaviors: AdvForgeAck}}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AdversaryActive() {
+		t.Fatal("explicit adversary node must activate the model")
+	}
+	if got := s.AdversaryBehaviorOf(1); got != AdvForgeAck {
+		t.Fatalf("behavior of node 1 = %v", got)
+	}
+	if got := s.AdversaryNodes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("AdversaryNodes = %v", got)
+	}
+}
+
+// lineSim builds a 3-node line 0—1—2 (unit disk radius covers only adjacent
+// nodes) with node 1 adversarial.
+func lineSim(t *testing.T, b AdversaryBehavior, dropEvery int) *Sim {
+	t.Helper()
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.8, 0), geom.Pt(1.6, 0)}
+	s := New(udg.Build(pts, 1), Config{})
+	cfg := FaultConfig{Adversary: AdversaryConfig{Nodes: []NodeID{1}, Behaviors: b, DropEvery: dropEvery}}
+	if err := s.SetFaults(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// relay makes every node forward a received payload along the line toward
+// node 2, recording receipts.
+func relay(s *Sim, got *[3][]NodeID, mu *sync.Mutex) {
+	s.SetAllProtos(func(v NodeID) Proto {
+		return ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+			if v == 0 && round == 0 {
+				ctx.SendAdHoc(1, advPayload{src: 0, dst: 2, rem: 1})
+			}
+			for _, env := range inbox {
+				if p, ok := env.Msg.(advPayload); ok {
+					mu.Lock()
+					(*got)[v] = append((*got)[v], env.From)
+					mu.Unlock()
+					if p.rem > 0 && v == 1 {
+						ctx.SendAdHoc(2, advPayload{src: p.src, dst: p.dst, rem: p.rem - 1})
+					}
+				}
+			}
+		})
+	})
+}
+
+func TestSelectiveDropBlackholesInbound(t *testing.T) {
+	s := lineSim(t, AdvSelectiveDrop, 1)
+	var got [3][]NodeID
+	var mu sync.Mutex
+	relay(s, &got, &mu)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every flow is selected at DropEvery=1: the payload to the adversarial
+	// receiver vanishes before delivery.
+	if len(got[1]) != 0 {
+		t.Fatalf("adversarial receiver must not see the dropped payload: %v", got[1])
+	}
+	if c := s.AdversaryCountersOf(1); c.SelectiveDrops != 1 {
+		t.Fatalf("SelectiveDrops = %d", c.SelectiveDrops)
+	}
+}
+
+func TestForgeDiscardsOutbound(t *testing.T) {
+	s := lineSim(t, AdvForgeAck, 0)
+	var got [3][]NodeID
+	var mu sync.Mutex
+	relay(s, &got, &mu)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The adversary receives the payload (it acks in a real protocol) but its
+	// own forward silently vanishes.
+	if len(got[1]) != 1 {
+		t.Fatalf("adversary must receive the payload: %v", got[1])
+	}
+	if len(got[2]) != 0 {
+		t.Fatalf("forged-ack forward must vanish: %v", got[2])
+	}
+	if c := s.AdversaryCountersOf(1); c.ForgedAcks != 1 {
+		t.Fatalf("ForgedAcks = %d", c.ForgedAcks)
+	}
+}
+
+func TestMisrouteRedirectsToWrongNeighbor(t *testing.T) {
+	s := lineSim(t, AdvMisroute, 0)
+	var got [3][]NodeID
+	var mu sync.Mutex
+	relay(s, &got, &mu)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1's only wrong neighbor is 0: the forward to 2 lands back at 0.
+	if len(got[2]) != 0 || len(got[0]) != 1 || got[0][0] != 1 {
+		t.Fatalf("misroute must redirect 1's forward to 0: got0=%v got2=%v", got[0], got[2])
+	}
+	if c := s.AdversaryCountersOf(1); c.Misrouted != 1 {
+		t.Fatalf("Misrouted = %d", c.Misrouted)
+	}
+}
+
+// TestAdversaryIgnoresControlTraffic pins the payload-class gate: messages
+// that do not implement PayloadMessage pass through adversaries untouched, so
+// a run whose traffic is all control chatter is byte-identical to a clean one.
+func TestAdversaryIgnoresControlTraffic(t *testing.T) {
+	run := func(adversary bool) Counters {
+		pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.8, 0), geom.Pt(1.6, 0)}
+		s := New(udg.Build(pts, 1), Config{})
+		if adversary {
+			if err := s.SetFaults(FaultConfig{Adversary: AdversaryConfig{Nodes: []NodeID{1}, DropEvery: 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.SetAllProtos(func(v NodeID) Proto {
+			return ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+				if v == 0 && round == 0 {
+					ctx.SendAdHoc(1, "control")
+				}
+				for _, env := range inbox {
+					if env.Msg == "control" && v == 1 {
+						ctx.SendAdHoc(2, "relayed")
+					}
+				}
+			})
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.TotalCounters()
+	}
+	if clean, adv := run(false), run(true); clean != adv {
+		t.Fatalf("control traffic perturbed by adversary: %+v vs %+v", clean, adv)
+	}
+}
+
+// TestAdversaryParallelDeterminism checks the Byzantine decisions are
+// bit-identical between sequential and parallel stepping (and race-clean
+// under -race), like the loss model.
+func TestAdversaryParallelDeterminism(t *testing.T) {
+	const n = 3 * parallelThreshold
+	run := func(parallel bool) (Counters, AdvCounters) {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(float64(i%16)*0.7, float64(i/16)*0.7)
+		}
+		g := udg.Build(pts, 1)
+		s := New(g, Config{Parallel: parallel})
+		cfg := FaultConfig{
+			AdHocLoss: 0.1,
+			Seed:      7,
+			Adversary: AdversaryConfig{Fraction: 0.2, Behaviors: AdvAll},
+		}
+		if err := s.SetFaults(cfg); err != nil {
+			t.Fatal(err)
+		}
+		s.SetAllProtos(func(v NodeID) Proto {
+			return ProtoFunc(func(ctx *Context, round int, inbox []Envelope) {
+				if round < 6 {
+					for _, w := range ctx.Neighbors() {
+						ctx.SendAdHoc(w, advPayload{src: v, dst: w})
+					}
+					ctx.KeepAlive()
+				}
+			})
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.TotalCounters(), s.AdversaryCounters()
+	}
+	cSeq, aSeq := run(false)
+	cPar, aPar := run(true)
+	if cSeq != cPar || aSeq != aPar {
+		t.Fatalf("parallel adversary diverged from sequential: %+v/%+v vs %+v/%+v", cSeq, aSeq, cPar, aPar)
+	}
+	if aSeq.Misrouted+aSeq.ForgedAcks+aSeq.SelectiveDrops == 0 {
+		t.Fatal("expected adversarial actions at 20% fraction")
+	}
+}
+
+// TestAdversaryFractionElection checks the fraction election respects
+// exemptions and explicit nodes, and lands near the requested rate.
+func TestAdversaryFractionElection(t *testing.T) {
+	const n = 400
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i%20)*0.7, float64(i/20)*0.7)
+	}
+	s := New(udg.Build(pts, 1), Config{})
+	cfg := FaultConfig{Seed: 3, Adversary: AdversaryConfig{
+		Fraction: 0.2,
+		Exempt:   []NodeID{0, 1, 2, 3},
+		Nodes:    []NodeID{2}, // explicit overrides exemption
+	}}
+	if err := s.SetFaults(cfg); err != nil {
+		t.Fatal(err)
+	}
+	adv := s.AdversaryNodes()
+	count := len(adv)
+	if count < n/10 || count > 3*n/10 {
+		t.Fatalf("election rate off: %d of %d adversarial", count, n)
+	}
+	for _, v := range []NodeID{0, 1, 3} {
+		if s.AdversaryBehaviorOf(v) != 0 {
+			t.Errorf("exempt node %d elected", v)
+		}
+	}
+	if s.AdversaryBehaviorOf(2) == 0 {
+		t.Error("explicit node 2 must be adversarial despite exemption")
+	}
+	// Same seed, same election.
+	s2 := New(udg.Build(pts, 1), Config{})
+	if err := s2.SetFaults(cfg); err != nil {
+		t.Fatal(err)
+	}
+	adv2 := s2.AdversaryNodes()
+	if len(adv) != len(adv2) {
+		t.Fatalf("election not deterministic: %d vs %d", len(adv), len(adv2))
+	}
+	for i := range adv {
+		if adv[i] != adv2[i] {
+			t.Fatalf("election not deterministic at %d: %v vs %v", i, adv[i], adv2[i])
+		}
+	}
+}
+
+func TestBehaviorStringRoundTrip(t *testing.T) {
+	for _, b := range []AdversaryBehavior{AdvMisroute, AdvSelectiveDrop, AdvForgeAck, AdvLieTelemetry, AdvAll, AdvMisroute | AdvLieTelemetry} {
+		got, err := ParseBehaviors(b.String())
+		if err != nil || got != b {
+			t.Errorf("round trip %v via %q: got %v, %v", b, b.String(), got, err)
+		}
+	}
+	if !strings.Contains(AdvAll.String(), "forge") {
+		t.Errorf("AdvAll string %q", AdvAll.String())
+	}
+}

@@ -48,6 +48,10 @@ type FaultConfig struct {
 	// Unlike Crashed, fired churn events notify membership listeners and
 	// advance the topology generation.
 	Churn ChurnSchedule
+	// Adversary turns a seeded subset of nodes Byzantine: they misroute,
+	// selectively drop, forge acks or lie in telemetry instead of failing
+	// cleanly. See AdversaryConfig (adversary.go).
+	Adversary AdversaryConfig
 }
 
 // LossRegion is a disc inside which message loss is elevated.
@@ -62,7 +66,8 @@ type LossRegion struct {
 
 // active reports whether the configuration injects any fault at all.
 func (f FaultConfig) active() bool {
-	if f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0 || len(f.Churn.Events) > 0 {
+	if f.AdHocLoss > 0 || f.LongLoss > 0 || len(f.Crashed) > 0 || len(f.Churn.Events) > 0 ||
+		f.Adversary.configured() {
 		return true
 	}
 	for _, r := range f.LossRegions {
@@ -109,6 +114,9 @@ type faultState struct {
 	churn     []ChurnEvent
 	churnNext int
 	churnBase int
+	// adversary is the compiled Byzantine model (nil when the config has
+	// none), acting on payload-class sends only; see adversary.go.
+	adversary *advState
 }
 
 // inert reports whether the state can no longer affect any future send: no
@@ -119,6 +127,9 @@ func (f *faultState) inert() bool {
 		return false
 	}
 	if f.churnNext < len(f.churn) {
+		return false
+	}
+	if f.adversary.any() {
 		return false
 	}
 	for _, c := range f.crashed {
@@ -180,6 +191,10 @@ func (s *Sim) SetFaults(cfg FaultConfig) error {
 			return fmt.Errorf("sim: churn event %d round %d negative", i, ev.Round)
 		}
 	}
+	adv, err := buildAdversary(cfg.Adversary, cfg.Seed, s.g.N())
+	if err != nil {
+		return err
+	}
 	if !cfg.active() {
 		s.installFaults(nil)
 		return nil
@@ -191,6 +206,7 @@ func (s *Sim) SetFaults(cfg FaultConfig) error {
 		crashed:   make([]bool, s.g.N()),
 		sendSeq:   make([]uint64, s.g.N()),
 		drops:     make([]DropCounters, s.g.N()),
+		adversary: adv,
 	}
 	for _, v := range cfg.Crashed {
 		f.crashed[v] = true

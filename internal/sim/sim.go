@@ -526,14 +526,53 @@ func (c *Context) deliver(to NodeID, msg Message, adhoc bool) {
 		cnt.LongMsgs++
 		cnt.LongWords += w
 	}
-	dropped := false
+	dropped, misrouted, forged, advdrop := false, false, false, false
 	if f := c.sim.faults; f != nil {
-		dropped = f.dropSend(c.self, to, adhoc)
+		if f.adversary != nil && adhoc {
+			// Byzantine intercept: adversarial nodes act on payload-class
+			// sends (control chatter passes untouched). Decisions hash the
+			// sender's current sequence, read before dropSend advances it,
+			// so the loss stream of honest traffic is unperturbed.
+			if pm, ok := msg.(PayloadMessage); ok {
+				src, dst := pm.FlowSrc(), pm.FlowDst()
+				if dst < 0 {
+					dst = to // final hop: the receiver is the destination
+				}
+				act, alt := f.intercept(c.sim.g, c.self, to, src, dst, f.sendSeq[c.self])
+				switch act {
+				case advDiscard:
+					if alt == c.self {
+						forged = true // ack went out, payload vanishes here
+					} else {
+						advdrop = true // black-holed before the receiver sees it
+					}
+				case advRedirect:
+					misrouted = true
+					to = alt
+				}
+			}
+		}
+		if forged || advdrop {
+			// The adversarial discard consumes a sequence slot like any send
+			// but is attributed to the adversary, not the fault injector.
+			f.sendSeq[c.self]++
+			dropped = true
+		} else {
+			dropped = f.dropSend(c.self, to, adhoc)
+		}
 	}
 	if tr := c.sim.tracer; tr != nil {
 		tr.Emit(trace.Event{Kind: trace.KindSend, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
-		if dropped {
+		switch {
+		case forged:
+			tr.Emit(trace.Event{Kind: trace.KindForgedAck, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
+		case advdrop:
+			tr.Emit(trace.Event{Kind: trace.KindAdvDrop, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
+		case dropped:
 			tr.Emit(trace.Event{Kind: trace.KindDrop, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
+		}
+		if misrouted {
+			tr.Emit(trace.Event{Kind: trace.KindMisroute, Round: c.sim.rounds, From: int(c.self), To: int(to), Words: w, AdHoc: adhoc})
 		}
 	}
 	if dropped {

@@ -47,6 +47,15 @@ const (
 	KindSuspect // ack telemetry marked a next hop suspected (From = observer, To = suspect)
 	KindRepair  // the overlay was repaired after a membership change (From = node, Plan = "incremental"/"full", Value = holes recomputed)
 
+	// Byzantine adversary events (From/To as in Send for the simulator-side
+	// kinds; transport-side kinds carry the detecting node).
+	KindMisroute         // an adversary redirected a payload to a wrong neighbor (To = actual receiver)
+	KindAdvDrop          // an adversary black-holed a payload of a selected flow (To = adversary)
+	KindForgedAck        // an adversary discarded a payload it had already acked (From = adversary)
+	KindMisrouteDetected // an honest holder received a payload it cannot forward (From = holder, To = unreachable hop)
+	KindVerifyFail       // end-to-end verification gave up on a payload launch (From = source, To = target, Attempt = launch number)
+	KindE2EResend        // the source relaunched the payload after verification failed (Value = resends so far)
+
 	numKinds
 )
 
@@ -55,6 +64,7 @@ var kindNames = [numKinds]string{
 	"hop_send", "hop_retry", "hop_ack", "hop_nack", "replan", "detour",
 	"cache_hit", "cache_miss", "cache_evict", "queue_depth",
 	"crash", "recover", "suspect", "repair",
+	"misroute", "adv_drop", "forged_ack", "misroute_detected", "verify_fail", "e2e_resend",
 }
 
 // String returns the stable snake_case name of the kind (also its JSON form).
