@@ -19,11 +19,12 @@ test:
 # pool, churn repair patches the shared triangulation between engine
 # batches, the hole abstraction backends are read concurrently by every
 # routing worker, the mem arenas/mark sets back the router's pooled
-# corridor scratch, and the serve layer mixes live churn repair with
-# in-flight queries and concurrent scrapes; keep all eight packages
-# race-clean.
+# corridor scratch, the serve layer mixes live churn repair with
+# in-flight queries and concurrent scrapes, and the cluster gateway
+# races hedged attempts against breaker state while chaos kills
+# backends under it; keep all nine packages race-clean.
 race:
-	go test -race ./internal/abstraction/... ./internal/core/... ./internal/delaunay/... ./internal/mem/... ./internal/routing/... ./internal/serve/... ./internal/sim/... ./internal/trace/...
+	go test -race ./internal/abstraction/... ./internal/cluster/... ./internal/core/... ./internal/delaunay/... ./internal/mem/... ./internal/routing/... ./internal/serve/... ./internal/sim/... ./internal/trace/...
 
 # Benchmarks stream through cmd/benchjson, which passes the benchstat-friendly
 # text through unchanged and archives a JSON summary for CI artifacts. -merge

@@ -7,9 +7,14 @@
 // the E18 artifact) is embedded verbatim as a "metrics" block, so one CI
 // artifact carries both the perf trajectory and the observability counters.
 //
+// With -instances a comma-separated list of per-instance registry snapshots
+// (bare {"counters","gauges"} documents or -trace wrappers) is merged into a
+// cluster-wide "cluster" rollup: counters are summed across instances, gauges
+// take the fleet maximum.
+//
 // Usage:
 //
-//	go test -bench=. -benchmem | benchjson -o BENCH_results.json [-metrics trace.json]
+//	go test -bench=. -benchmem | benchjson -o BENCH_results.json [-metrics trace.json] [-instances i0.json,i1.json]
 package main
 
 import (
@@ -39,8 +44,8 @@ type benchResult struct {
 }
 
 // benchFile is the JSON document: run environment plus every benchmark line,
-// derived cross-benchmark ratios, and optionally the trace-metrics block
-// embedded via -metrics.
+// derived cross-benchmark ratios, optionally the trace-metrics block embedded
+// via -metrics, and optionally the cluster-wide rollup built via -instances.
 type benchFile struct {
 	GoOS       string             `json:"goos,omitempty"`
 	GoArch     string             `json:"goarch,omitempty"`
@@ -49,6 +54,65 @@ type benchFile struct {
 	Benchmarks []benchResult      `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
 	Metrics    json.RawMessage    `json:"metrics,omitempty"`
+	Cluster    *clusterRollup     `json:"cluster,omitempty"`
+}
+
+// clusterRollup is the fleet-wide view of per-instance registry snapshots:
+// counters are summed (work adds up across instances), gauges take the max
+// (a high-water mark anywhere is a high-water mark for the fleet).
+type clusterRollup struct {
+	Instances int                `json:"instances"`
+	Counters  map[string]uint64  `json:"counters,omitempty"`
+	Gauges    map[string]float64 `json:"gauges,omitempty"`
+}
+
+// registryDoc matches both snapshot shapes on disk: a bare registry document
+// ({"counters": ..., "gauges": ...}, the trace.Registry JSON form) or a
+// wrapper with that document under a "metrics" key (the `hybridroute -trace`
+// / E18 artifact form).
+type registryDoc struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	Metrics  *registryDoc       `json:"metrics"`
+}
+
+// rollupInstances merges per-instance registry snapshot files into one
+// cluster-wide rollup.
+func rollupInstances(paths []string) (*clusterRollup, error) {
+	roll := &clusterRollup{}
+	for _, path := range paths {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc registryDoc
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return nil, fmt.Errorf("instance snapshot %s: %w", path, err)
+		}
+		reg := &doc
+		if doc.Metrics != nil && doc.Counters == nil && doc.Gauges == nil {
+			reg = doc.Metrics
+		}
+		if reg.Counters == nil && reg.Gauges == nil {
+			return nil, fmt.Errorf("instance snapshot %s: no counters or gauges found", path)
+		}
+		roll.Instances++
+		for k, v := range reg.Counters {
+			if roll.Counters == nil {
+				roll.Counters = map[string]uint64{}
+			}
+			roll.Counters[k] += v
+		}
+		for k, v := range reg.Gauges {
+			if roll.Gauges == nil {
+				roll.Gauges = map[string]float64{}
+			}
+			if cur, ok := roll.Gauges[k]; !ok || v > cur {
+				roll.Gauges[k] = v
+			}
+		}
+	}
+	return roll, nil
 }
 
 // deriveRatios computes cross-benchmark summary metrics that only make sense
@@ -172,6 +236,9 @@ func mergePrior(doc *benchFile, path string) error {
 	if doc.Metrics == nil {
 		doc.Metrics = prior.Metrics
 	}
+	if doc.Cluster == nil {
+		doc.Cluster = prior.Cluster
+	}
 	doc.Derived = nil
 	deriveRatios(doc)
 	return nil
@@ -180,6 +247,7 @@ func mergePrior(doc *benchFile, path string) error {
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output JSON path")
 	metrics := flag.String("metrics", "", "trace-metrics JSON file to embed as the \"metrics\" block")
+	instances := flag.String("instances", "", "comma-separated per-instance registry snapshot files to merge into the \"cluster\" rollup (counters summed, gauges maxed)")
 	merge := flag.Bool("merge", false, "merge with the existing output file instead of replacing it (a missing or empty file is a first run)")
 	flag.Parse()
 
@@ -193,6 +261,13 @@ func main() {
 	doc, err := convert(os.Stdin, os.Stdout, metricsJSON)
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
+	}
+	if *instances != "" {
+		roll, err := rollupInstances(strings.Split(*instances, ","))
+		if err != nil {
+			log.Fatalf("benchjson: instances: %v", err)
+		}
+		doc.Cluster = roll
 	}
 	if *merge {
 		if err := mergePrior(&doc, *out); err != nil {

@@ -255,3 +255,105 @@ func TestMergePriorKeepsAndOverrides(t *testing.T) {
 		t.Errorf("environment must fall back to prior when unset, got %q", doc.GoOS)
 	}
 }
+
+// TestClusterRollupGolden pins the cluster rollup schema: per-instance
+// registry snapshots (one bare, one -trace-wrapped) merged with counters
+// summed and gauges maxed, against testdata/cluster_rollup_golden.json.
+func TestClusterRollupGolden(t *testing.T) {
+	roll, err := rollupInstances([]string{
+		filepath.Join("testdata", "instance_i0.json"),
+		filepath.Join("testdata", "instance_i1.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(roll, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "cluster_rollup_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster rollup drifted from golden file (run `go test ./cmd/benchjson -update` if intentional):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The semantic invariants behind the golden bytes: counters summed
+	// (120+95), gauges maxed (31 beats 12, 950.5 beats 410.25), and a counter
+	// present in only one instance survives.
+	if roll.Instances != 2 {
+		t.Errorf("instances = %d, want 2", roll.Instances)
+	}
+	if roll.Counters["hybridroute_serve_requests_total"] != 215 {
+		t.Errorf("summed requests = %d, want 215", roll.Counters["hybridroute_serve_requests_total"])
+	}
+	if roll.Counters["hybridroute_engine_cache_evictions_total"] != 7 {
+		t.Errorf("single-instance counter must survive, got %d", roll.Counters["hybridroute_engine_cache_evictions_total"])
+	}
+	if roll.Gauges["hybridroute_engine_queue_depth_max"] != 31 {
+		t.Errorf("maxed queue depth = %v, want 31", roll.Gauges["hybridroute_engine_queue_depth_max"])
+	}
+	if roll.Gauges["hybridroute_serve_drain_rate"] != 950.5 {
+		t.Errorf("maxed drain rate = %v, want 950.5", roll.Gauges["hybridroute_serve_drain_rate"])
+	}
+}
+
+// TestClusterRollupErrors pins the failure modes: unreadable file, invalid
+// JSON, and a document with neither counters nor gauges.
+func TestClusterRollupErrors(t *testing.T) {
+	if _, err := rollupInstances([]string{filepath.Join("testdata", "nope.json")}); err == nil {
+		t.Error("missing file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rollupInstances([]string{bad}); err == nil {
+		t.Error("invalid JSON must fail")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"events": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rollupInstances([]string{empty}); err == nil {
+		t.Error("snapshot without registry data must fail")
+	}
+}
+
+// TestMergePriorKeepsCluster pins that a merge without a fresh -instances
+// rollup preserves the prior one.
+func TestMergePriorKeepsCluster(t *testing.T) {
+	prior := benchFile{
+		Benchmarks: []benchResult{{Name: "BenchmarkX", Procs: 1, Iterations: 1, NsPerOp: 1}},
+		Cluster:    &clusterRollup{Instances: 3, Counters: map[string]uint64{"c": 9}},
+	}
+	path := filepath.Join(t.TempDir(), "prior.json")
+	buf, err := json.Marshal(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var echo bytes.Buffer
+	doc, err := convert(bytes.NewReader([]byte("BenchmarkY-1 2 50 ns/op\n")), &echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePrior(&doc, path); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cluster == nil || doc.Cluster.Instances != 3 || doc.Cluster.Counters["c"] != 9 {
+		t.Fatalf("prior cluster rollup lost in merge: %+v", doc.Cluster)
+	}
+}

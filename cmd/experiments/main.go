@@ -1,4 +1,4 @@
-// Command experiments runs the full experiment suite E1–E22 (see DESIGN.md)
+// Command experiments runs the full experiment suite E1–E23 (see DESIGN.md)
 // and prints each result table together with its claim check; EXPERIMENTS.md
 // records a reference run.
 //
@@ -24,7 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment, e.g. E2")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
 	workers := flag.Int("workers", 0, "batch-engine worker pool size for E15 (0 = GOMAXPROCS)")
-	traceDir := flag.String("trace", "", "write the trace artifacts (E18_trace.json/.svg, E19_churn.json, E20_abstraction.json, E22_adversary.json) into this directory")
+	traceDir := flag.String("trace", "", "write the trace artifacts (E18_trace.json/.svg, E19_churn.json, E20_abstraction.json, E22_adversary.json, E23_cluster.json) into this directory")
 	churn := flag.Int("churn", 0, "append a row with this many crash+recover cycles to E19's churn sweep")
 	abstraction := flag.String("abstraction", "", "hole abstraction backend for the standard scenario: hull (default) or bbox; E20 always sweeps both")
 	pprofFile := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
@@ -54,7 +54,7 @@ func main() {
 		"E6": expt.E6, "E7": expt.E7, "E8": expt.E8, "E9": expt.E9, "E10": expt.E10,
 		"E11": expt.E11, "E12": expt.E12, "E13": expt.E13, "E14": expt.E14,
 		"E15": expt.E15, "E16": expt.E16, "E17": expt.E17, "E18": expt.E18, "E19": expt.E19,
-		"E20": expt.E20, "E22": expt.E22,
+		"E20": expt.E20, "E22": expt.E22, "E23": expt.E23,
 	}
 
 	var results []*expt.Result

@@ -19,6 +19,16 @@
 // is set — a live crash/recover schedule applied while traffic is served.
 // SIGINT/SIGTERM drains gracefully.
 //
+// With -serve -cluster N the service becomes resilient and multi-instance
+// (internal/cluster): N in-process backends, each a full serve.Server with
+// its own engine and plan cache, behind a gateway on -addr that spatially
+// shards queries with replica factor -replicas, health-checks /readyz,
+// breaks circuits on failing backends, retries with jittered backoff, hedges
+// the tail when -hedge is set, and degrades gracefully when a whole replica
+// set is down. -chaos replays a fault schedule (kill/pause/resume/slow)
+// against the backends while traffic is served. The drain rollup pins the
+// no-loss invariant ("lost 0").
+//
 // Usage:
 //
 //	hybridroute [-n 600] [-holes 3] [-queries 200] [-seed 1] [-scenario uniform|city|maze|grid]
@@ -27,6 +37,7 @@
 //	            [-adversary 0.2 | -adversary 0.2,misroute+forge]
 //	            [-trace FILE] [-pprof FILE]
 //	            [-serve] [-addr :8080] [-serve-export FILE]
+//	            [-cluster 3] [-replicas 2] [-hedge 20ms] [-chaos "kill@5s:1,slow@10s:2:50ms"]
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"time"
 
 	"hybridroute/internal/abstraction"
+	"hybridroute/internal/cluster"
 	"hybridroute/internal/core"
 	"hybridroute/internal/geom"
 	"hybridroute/internal/serve"
@@ -80,6 +92,10 @@ func main() {
 	serveMode := flag.Bool("serve", false, "run as a long-running query service (HTTP/JSON API + /metrics) instead of a one-shot batch")
 	addr := flag.String("addr", ":8080", "serve mode: HTTP listen address")
 	serveExport := flag.String("serve-export", "", "serve mode: append OTLP-style JSON metric batches to this file")
+	clusterN := flag.Int("cluster", 0, "serve mode: shard queries across this many backend instances behind a gateway (0 = single server)")
+	replicas := flag.Int("replicas", 2, "cluster mode: replica factor R — backends owning each spatial region")
+	chaosSpec := flag.String("chaos", "", "cluster mode: instance fault schedule, e.g. \"kill@5s:1,slow@10s:2:50ms,pause@15s:0,resume@20s:0\"")
+	hedge := flag.Duration("hedge", 0, "cluster mode: hedge a request to the standby replica after this delay (0 = off)")
 	flag.Parse()
 
 	advFrac, advBehaviors, err := parseAdversaryFlag(*adversary)
@@ -99,6 +115,9 @@ func main() {
 		log.Fatal("flags: -adversary configures the one-shot delivery run; serve mode does not inject adversaries")
 	}
 	if err := validateServeFlags(*serveMode, *static, *batch, *churn, *loss, *crash, *traceFile, *router); err != nil {
+		log.Fatalf("flags: %v", err)
+	}
+	if err := validateClusterFlags(*serveMode, *clusterN, *replicas, *chaosSpec, *hedge, *churn, *serveExport); err != nil {
 		log.Fatalf("flags: %v", err)
 	}
 	stopProfile := func() {}
@@ -154,7 +173,11 @@ func main() {
 	}
 
 	if *serveMode {
-		if err := runServe(nw, *addr, *serveExport, *workers, *cacheSize, *churn, *seed); err != nil {
+		if *clusterN > 0 {
+			if err := runCluster(nw, *addr, *clusterN, *replicas, *chaosSpec, *hedge, *workers, *cacheSize, *seed); err != nil {
+				log.Fatalf("cluster: %v", err)
+			}
+		} else if err := runServe(nw, *addr, *serveExport, *workers, *cacheSize, *churn, *seed); err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 		return
@@ -336,6 +359,135 @@ func validateServeFlags(serveMode, static, batch bool, churn int, loss float64, 
 	if router != "hull" {
 		return fmt.Errorf("-serve supports the hull router only (got -router %q)", router)
 	}
+	return nil
+}
+
+// validateClusterFlags rejects cluster-mode combinations: the gateway tier
+// rides on serve mode, and the per-instance features that assume a single
+// server (live churn, streaming export) are not plumbed through it.
+func validateClusterFlags(serveMode bool, clusterN, replicas int, chaosSpec string, hedge time.Duration, churn int, serveExport string) error {
+	if clusterN == 0 {
+		if chaosSpec != "" {
+			return fmt.Errorf("-chaos injects instance faults; it needs -cluster")
+		}
+		if hedge != 0 {
+			return fmt.Errorf("-hedge races replicas; it needs -cluster")
+		}
+		return nil
+	}
+	if clusterN < 0 {
+		return fmt.Errorf("-cluster must be >= 0, got %d", clusterN)
+	}
+	if !serveMode {
+		return fmt.Errorf("-cluster shards the query service; it needs -serve")
+	}
+	if replicas < 1 || replicas > clusterN {
+		return fmt.Errorf("-replicas must be in [1, %d] (the -cluster size), got %d", clusterN, replicas)
+	}
+	if hedge < 0 {
+		return fmt.Errorf("-hedge must be >= 0, got %v", hedge)
+	}
+	if churn > 0 {
+		return fmt.Errorf("-churn drives a single server's live membership; cluster mode injects faults with -chaos instead")
+	}
+	if serveExport != "" {
+		return fmt.Errorf("-serve-export streams one instance's metrics; cluster mode serves the gateway rollup on /metrics instead")
+	}
+	if chaosSpec != "" {
+		if _, err := cluster.ParseChaosSpec(chaosSpec, clusterN); err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+	}
+	return nil
+}
+
+// runCluster runs the preprocessed network as a resilient multi-instance
+// service: n in-process backends behind the sharding gateway, an optional
+// chaos schedule replayed against them, until SIGINT/SIGTERM. The drain
+// rollup prints per-instance accepted/completed and pins the no-loss
+// invariant ("lost 0") that CI greps for.
+func runCluster(nw *core.Network, addr string, n, replicas int, chaosSpec string, hedge time.Duration, workers, cacheSize int, seed int64) error {
+	instances, err := cluster.SpawnInstances(nw, n, cluster.InstanceOptions{Workers: workers, CacheSize: cacheSize})
+	if err != nil {
+		return err
+	}
+	g, err := cluster.NewGateway(nw, cluster.FromInstances(instances), cluster.Config{
+		Replicas:   replicas,
+		HedgeDelay: hedge,
+		Seed:       uint64(seed),
+	})
+	if err != nil {
+		return err
+	}
+	g.Start()
+	defer g.Close()
+
+	chaosStop := make(chan struct{})
+	chaosDone := make(chan struct{})
+	if chaosSpec != "" {
+		sch, err := cluster.ParseChaosSpec(chaosSpec, n)
+		if err != nil {
+			return err
+		}
+		go func() { defer close(chaosDone); sch.Apply(chaosStop, instances) }()
+	} else {
+		close(chaosDone)
+	}
+
+	hs := &http.Server{Addr: addr, Handler: g.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("\ncluster gateway on %s: %d backends, R=%d, hedge %v, chaos %q\n", addr, n, replicas, hedge, chaosSpec)
+	for _, in := range instances {
+		fmt.Printf("  backend %s at %s\n", in.ID, in.URL())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("received %v, draining cluster\n", sig)
+	case err := <-errCh:
+		close(chaosStop)
+		<-chaosDone
+		return err
+	}
+	close(chaosStop)
+	<-chaosDone
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	var accepted, completed uint64
+	survivors := 0
+	for _, in := range instances {
+		killed := in.Killed()
+		if !killed {
+			if err := in.Drain(ctx); err != nil {
+				return fmt.Errorf("drain %s: %w", in.ID, err)
+			}
+			survivors++
+		}
+		st := in.Server.ServerStats()
+		state := "drained"
+		if killed {
+			state = "killed"
+		}
+		fmt.Printf("  backend %s %s: accepted %d, completed %d\n", in.ID, state, st.Accepted, st.Completed)
+		if !killed {
+			accepted += st.Accepted
+			completed += st.Completed
+		}
+	}
+	gst := g.Stats()
+	fmt.Printf("cluster drained: %d/%d backends survived; requests %d, answered %d, degraded %d, shed %d, failovers %d, hedge wins %d, lost %d\n",
+		survivors, n, gst.Requests, gst.Answered, gst.Degraded, gst.Shed, gst.Failovers, gst.HedgeWins, accepted-completed)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -110,6 +111,51 @@ func TestValidateServeFlags(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			err := validateServeFlags(tc.serve, tc.static, tc.batch, tc.churn, tc.loss, tc.crash, tc.traceFile, tc.router)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateClusterFlags(t *testing.T) {
+	cases := []struct {
+		name        string
+		serve       bool
+		cluster     int
+		replicas    int
+		chaos       string
+		hedge       time.Duration
+		churn       int
+		serveExport string
+		wantErr     string
+	}{
+		{name: "cluster off", replicas: 2},
+		{name: "plain cluster", serve: true, cluster: 3, replicas: 2},
+		{name: "single replica", serve: true, cluster: 3, replicas: 1},
+		{name: "with chaos", serve: true, cluster: 3, replicas: 2, chaos: "kill@5s:1,slow@10s:2:50ms"},
+		{name: "with hedge", serve: true, cluster: 3, replicas: 2, hedge: 20 * time.Millisecond},
+		{name: "chaos without cluster", chaos: "kill@5s:0", wantErr: "-chaos"},
+		{name: "hedge without cluster", hedge: time.Millisecond, wantErr: "-hedge"},
+		{name: "negative cluster", serve: true, cluster: -1, wantErr: "-cluster"},
+		{name: "cluster without serve", cluster: 3, replicas: 2, wantErr: "-serve"},
+		{name: "zero replicas", serve: true, cluster: 3, replicas: 0, wantErr: "-replicas"},
+		{name: "replicas above cluster", serve: true, cluster: 2, replicas: 3, wantErr: "-replicas"},
+		{name: "negative hedge", serve: true, cluster: 2, replicas: 2, hedge: -time.Second, wantErr: "-hedge"},
+		{name: "cluster with churn", serve: true, cluster: 3, replicas: 2, churn: 2, wantErr: "-churn"},
+		{name: "cluster with export", serve: true, cluster: 3, replicas: 2, serveExport: "m.json", wantErr: "-serve-export"},
+		{name: "bad chaos action", serve: true, cluster: 3, replicas: 2, chaos: "explode@5s:0", wantErr: "unknown action"},
+		{name: "chaos backend out of range", serve: true, cluster: 3, replicas: 2, chaos: "kill@5s:3", wantErr: "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateClusterFlags(tc.serve, tc.cluster, tc.replicas, tc.chaos, tc.hedge, tc.churn, tc.serveExport)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

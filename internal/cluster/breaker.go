@@ -1,0 +1,180 @@
+// Per-backend circuit breaker: the gateway's memory of recent backend
+// behaviour. A backend that keeps failing (or keeps answering slower than the
+// latency threshold) is cut off — requests stop being burned against it — and
+// re-admitted through a single half-open probe after a cooldown, so recovery
+// is detected without a thundering herd of speculative retries.
+//
+// State machine (see DESIGN.md):
+//
+//	closed ──(FailThreshold consecutive failures)──▶ open
+//	open   ──(Cooldown elapsed)──▶ half-open (one probe allowed)
+//	half-open ──probe success──▶ closed
+//	half-open ──probe failure──▶ open (cooldown restarts)
+//
+// A success that takes longer than LatencyThreshold counts toward the
+// consecutive-failure counter (a replica that answers in seconds is down for
+// scheduling purposes) but is still returned to the client.
+
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes one backend's circuit breaker.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive-failure count that trips a closed
+	// breaker open; <= 0 means 3.
+	FailThreshold int
+	// Cooldown is how long an open breaker blocks before releasing one
+	// half-open probe; <= 0 means 1s.
+	Cooldown time.Duration
+	// LatencyThreshold, when > 0, makes successes slower than this count as
+	// failures for the trip counter (the answer is still used).
+	LatencyThreshold time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// breakerState is the coarse circuit state.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// transition is what a breaker call observed, so the gateway can count state
+// changes without holding the breaker lock.
+type transition uint8
+
+const (
+	transNone transition = iota
+	transOpen
+	transHalfOpen
+	transClose
+)
+
+// breaker is one backend's circuit. Safe for concurrent use. The clock is
+// injectable so the state machine is unit-testable without sleeping.
+type breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+	now         func() time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a request may be sent to this backend right now.
+// On an open breaker whose cooldown has elapsed it transitions to half-open
+// and admits exactly one probe; concurrent callers are refused until that
+// probe reports back.
+func (b *breaker) Allow() (bool, transition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, transNone
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, transNone
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, transHalfOpen
+	default: // half-open
+		if b.probing {
+			return false, transNone
+		}
+		b.probing = true
+		return true, transNone
+	}
+}
+
+// Success records a completed request with its observed latency. A slow
+// success (past LatencyThreshold) feeds the trip counter like a failure; a
+// half-open probe success closes the circuit.
+func (b *breaker) Success(latency time.Duration) transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.LatencyThreshold > 0 && latency > b.cfg.LatencyThreshold {
+		return b.failLocked()
+	}
+	b.consecFails = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.probing = false
+		return transClose
+	}
+	return transNone
+}
+
+// Failure records a failed request (connection error, 5xx, timeout).
+func (b *breaker) Failure() transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failLocked()
+}
+
+func (b *breaker) failLocked() transition {
+	b.consecFails++
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to open, cooldown restarts.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return transOpen
+	case breakerClosed:
+		if b.consecFails >= b.cfg.FailThreshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return transOpen
+		}
+	}
+	return transNone
+}
+
+// Closed peeks at the circuit without side effects: true only in the closed
+// state. Hedge-backup selection uses this instead of Allow — a hedge might
+// never fire, and Allow on an open breaker would consume the half-open probe
+// slot with no request behind it, wedging the breaker refused forever.
+func (b *breaker) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
+// State reports the current circuit state name (for /stats).
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,190 @@
+// Instance-level chaos injection: a seeded, deterministic schedule of
+// backend-process faults — kill (abrupt connection loss), pause/resume (the
+// process stalls but keeps its sockets), and slow (injected per-request
+// latency) — replayed against the in-process instances the same way
+// sim.ChurnSchedule replays membership churn against the simulator. The
+// schedule is data, so E23 can sweep chaos intensity reproducibly and the
+// CLI can take a -chaos spec.
+
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ChaosAction is one kind of injected instance fault.
+type ChaosAction uint8
+
+const (
+	// ChaosKill closes the backend's listener and every active connection:
+	// in-flight requests see a reset, later ones a refused connection. A
+	// killed instance never comes back (restart is a deployment concern, not
+	// a chaos one).
+	ChaosKill ChaosAction = iota
+	// ChaosPause stalls the backend: requests block at the instance gate
+	// until ChaosResume. Connections stay open, so the gateway sees timeouts
+	// rather than refusals — the gray-failure mode breakers exist for.
+	ChaosPause
+	// ChaosResume releases a paused backend.
+	ChaosResume
+	// ChaosSlow injects a fixed latency in front of every request (Latency);
+	// Latency 0 removes the slowdown.
+	ChaosSlow
+
+	numChaosActions
+)
+
+var chaosNames = [numChaosActions]string{"kill", "pause", "resume", "slow"}
+
+// String returns the stable action name used by the -chaos spec.
+func (a ChaosAction) String() string {
+	if int(a) < len(chaosNames) {
+		return chaosNames[a]
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// ChaosEvent schedules one fault relative to schedule start.
+type ChaosEvent struct {
+	After   time.Duration
+	Backend int
+	Action  ChaosAction
+	// Latency is the injected per-request delay for ChaosSlow (0 clears it).
+	Latency time.Duration
+}
+
+// ChaosSchedule is a replayable fault schedule, sorted by Apply before use.
+type ChaosSchedule []ChaosEvent
+
+// GenerateChaos builds a seeded schedule over span: kills abrupt deaths,
+// pauses pause/resume cycles (each paused for about an eighth of the span)
+// and slows slow/clear cycles (latency each), spread deterministically across
+// the window and the backends. Backend 0 is exempt from kills so a generated
+// schedule never takes the whole replica set of every region down by itself.
+func GenerateChaos(seed uint64, backends int, span time.Duration, kills, pauses, slows int, latency time.Duration) ChaosSchedule {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var sch ChaosSchedule
+	at := func(frac float64) time.Duration {
+		return time.Duration(frac * float64(span))
+	}
+	pick := func(exemptZero bool) int {
+		if backends <= 1 {
+			return 0
+		}
+		if exemptZero {
+			return 1 + rng.Intn(backends-1)
+		}
+		return rng.Intn(backends)
+	}
+	for i := 0; i < kills; i++ {
+		sch = append(sch, ChaosEvent{After: at(0.25 + 0.5*rng.Float64()), Backend: pick(true), Action: ChaosKill})
+	}
+	for i := 0; i < pauses; i++ {
+		start := 0.15 + 0.55*rng.Float64()
+		b := pick(false)
+		sch = append(sch, ChaosEvent{After: at(start), Backend: b, Action: ChaosPause})
+		sch = append(sch, ChaosEvent{After: at(start + 0.125), Backend: b, Action: ChaosResume})
+	}
+	for i := 0; i < slows; i++ {
+		start := 0.1 + 0.6*rng.Float64()
+		b := pick(false)
+		sch = append(sch, ChaosEvent{After: at(start), Backend: b, Action: ChaosSlow, Latency: latency})
+		sch = append(sch, ChaosEvent{After: at(start + 0.2), Backend: b, Action: ChaosSlow, Latency: 0})
+	}
+	sort.SliceStable(sch, func(i, j int) bool { return sch[i].After < sch[j].After })
+	return sch
+}
+
+// ParseChaosSpec parses the CLI form: a comma-separated event list where each
+// event is ACTION@AFTER:BACKEND (and for slow, ACTION@AFTER:BACKEND:LATENCY),
+// e.g. "kill@5s:1,slow@10s:2:50ms,pause@15s:0,resume@20s:0". AFTER and
+// LATENCY use Go duration syntax; BACKEND is the instance index.
+func ParseChaosSpec(spec string, backends int) (ChaosSchedule, error) {
+	var sch ChaosSchedule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		actAt, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("chaos event %q: want ACTION@AFTER:BACKEND", part)
+		}
+		actName, afterStr, ok := strings.Cut(actAt, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos event %q: want ACTION@AFTER:BACKEND", part)
+		}
+		var act ChaosAction = numChaosActions
+		for i, n := range chaosNames {
+			if n == actName {
+				act = ChaosAction(i)
+			}
+		}
+		if act == numChaosActions {
+			return nil, fmt.Errorf("chaos event %q: unknown action %q (want kill, pause, resume or slow)", part, actName)
+		}
+		after, err := time.ParseDuration(afterStr)
+		if err != nil || after < 0 {
+			return nil, fmt.Errorf("chaos event %q: bad time %q", part, afterStr)
+		}
+		ev := ChaosEvent{After: after, Action: act}
+		backendStr := rest
+		if act == ChaosSlow {
+			bs, latStr, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("chaos event %q: slow wants slow@AFTER:BACKEND:LATENCY", part)
+			}
+			backendStr = bs
+			if ev.Latency, err = time.ParseDuration(latStr); err != nil || ev.Latency < 0 {
+				return nil, fmt.Errorf("chaos event %q: bad latency %q", part, latStr)
+			}
+		}
+		b, err := strconv.Atoi(backendStr)
+		if err != nil || b < 0 || b >= backends {
+			return nil, fmt.Errorf("chaos event %q: backend %q out of range [0, %d)", part, backendStr, backends)
+		}
+		ev.Backend = b
+		sch = append(sch, ev)
+	}
+	sort.SliceStable(sch, func(i, j int) bool { return sch[i].After < sch[j].After })
+	return sch, nil
+}
+
+// Apply replays the schedule against the instances relative to the wall
+// clock, stopping early when stop closes. It blocks; run it in a goroutine.
+func (sch ChaosSchedule) Apply(stop <-chan struct{}, instances []*Instance) {
+	evs := append(ChaosSchedule(nil), sch...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].After < evs[j].After })
+	start := time.Now()
+	for _, ev := range evs {
+		wait := time.Until(start.Add(ev.After))
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if ev.Backend < 0 || ev.Backend >= len(instances) {
+			continue
+		}
+		in := instances[ev.Backend]
+		switch ev.Action {
+		case ChaosKill:
+			in.Kill()
+		case ChaosPause:
+			in.Pause()
+		case ChaosResume:
+			in.Resume()
+		case ChaosSlow:
+			in.Slow(ev.Latency)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// E23: the cluster resilience sweep. A 3-backend R=2 gateway cluster serves
+// a fixed query mix while a seeded chaos schedule injects instance faults of
+// increasing intensity (none, a kill, kill+pause, kill+slow), each arm run
+// with hedging off and on. Measured per cell: availability (fraction of
+// offered queries answered 200), p99 end-to-end latency, degraded-answer
+// fraction, backpressure sheds, failovers and hedge wins — the table DESIGN.md
+// row E23 points at. The resilience gates: every arm, at every intensity,
+// keeps availability >= 99% of offered load; the chaos-free arm answers
+// everything with zero degraded answers; and the surviving backends drain to
+// accepted == completed (no accepted query is ever lost).
+
+package expt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridroute/internal/cluster"
+	"hybridroute/internal/core"
+	"hybridroute/internal/stats"
+)
+
+// e23Arm is one chaos intensity level, expressed in the -chaos spec grammar
+// so the experiment exercises the same parser the CLI uses.
+type e23Arm struct {
+	name string
+	spec string
+}
+
+// e23Row is one measured cell of the sweep (also the JSON artifact row).
+type e23Row struct {
+	Chaos        string  `json:"chaos"`
+	Hedge        bool    `json:"hedge"`
+	Offered      int     `json:"offered"`
+	OK           int     `json:"ok"`
+	Availability float64 `json:"availability"`
+	P99MS        float64 `json:"p99_ms"`
+	Degraded     uint64  `json:"degraded"`
+	DegradedFrac float64 `json:"degraded_frac"`
+	Shed         uint64  `json:"shed"`
+	Failovers    uint64  `json:"failovers"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	Lost         uint64  `json:"lost"`
+}
+
+// E23 measures gateway availability and tail latency under instance chaos.
+func E23(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "E23",
+		Title: "Cluster resilience: availability and tail latency under instance chaos",
+		Claim: "sharded gateway with R=2, breakers, failover and degradation sustains >= 99% availability through backend kill/pause/slow chaos; no accepted query is lost; a chaos-free cluster answers everything undegraded",
+	}
+	n, clients, perClient := 400, 8, 30
+	if opt.Quick {
+		n, clients, perClient = 240, 6, 20
+	}
+	nw, _, err := preprocessScenario(opt, n)
+	if err != nil {
+		return nil, err
+	}
+
+	arms := []e23Arm{
+		{name: "none", spec: ""},
+		{name: "kill", spec: "kill@250ms:1"},
+		{name: "kill+pause", spec: "kill@250ms:1,pause@100ms:2,resume@400ms:2"},
+		{name: "kill+slow", spec: "kill@250ms:1,slow@100ms:2:5ms,slow@500ms:2:0"},
+	}
+
+	res.Table = stats.NewTable("chaos", "hedge", "offered", "ok", "avail", "p99 ms", "degraded", "shed", "failovers", "hedge wins", "lost")
+	res.Pass = true
+	var rows []e23Row
+	for _, arm := range arms {
+		for _, hedge := range []bool{false, true} {
+			row, err := e23Run(opt, nw, arm, hedge, clients, perClient)
+			if err != nil {
+				return nil, fmt.Errorf("E23 %s hedge=%v: %w", arm.name, hedge, err)
+			}
+			rows = append(rows, *row)
+			res.Table.AddRow(arm.name, hedge, row.Offered, row.OK,
+				row.Availability, row.P99MS, row.Degraded, row.Shed,
+				row.Failovers, row.HedgeWins, row.Lost)
+			if row.Availability < 0.99 {
+				res.Pass = false
+				res.note("FAIL: %s hedge=%v availability %.4f < 0.99", arm.name, hedge, row.Availability)
+			}
+			if row.Lost != 0 {
+				res.Pass = false
+				res.note("FAIL: %s hedge=%v lost %d accepted queries", arm.name, hedge, row.Lost)
+			}
+			if arm.name == "none" && (row.OK != row.Offered || row.Degraded != 0) {
+				res.Pass = false
+				res.note("FAIL: chaos-free arm ok=%d/%d degraded=%d", row.OK, row.Offered, row.Degraded)
+			}
+		}
+	}
+	res.note("3 backends, R=2, kill at 250ms into each chaotic run; availability = 200-answers / offered")
+	if opt.TraceDir != "" {
+		blob, err := json.MarshalIndent(struct {
+			Backends int      `json:"backends"`
+			Replicas int      `json:"replicas"`
+			Rows     []e23Row `json:"rows"`
+		}{Backends: 3, Replicas: 2, Rows: rows}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		name := filepath.Join(opt.TraceDir, "E23_cluster.json")
+		if err := os.WriteFile(name, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		res.note("cluster sweep written to %s", name)
+	}
+	return res, nil
+}
+
+// e23Run measures one cell: fresh backends, fresh gateway, one chaos replay
+// against live traffic, then a drain that checks the no-loss invariant.
+func e23Run(opt Options, nw *core.Network, arm e23Arm, hedge bool, clients, perClient int) (*e23Row, error) {
+	const backends = 3
+	instances, err := cluster.SpawnInstances(nw, backends, cluster.InstanceOptions{Workers: 2, QueueSize: 512})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, in := range instances {
+			in.Kill()
+		}
+	}()
+	cfg := cluster.Config{
+		Replicas:       2,
+		HealthInterval: 25 * time.Millisecond,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		Seed:           uint64(opt.seed()) + 23,
+	}
+	if hedge {
+		cfg.HedgeDelay = 20 * time.Millisecond
+	}
+	g, err := cluster.NewGateway(nw, cluster.FromInstances(instances), cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.Start()
+	defer g.Close()
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	sch, err := cluster.ParseChaosSpec(arm.spec, backends)
+	if err != nil {
+		return nil, err
+	}
+	chaosDone := make(chan struct{})
+	go func() { defer close(chaosDone); sch.Apply(nil, instances) }()
+
+	offered := clients * perClient
+	pairs := samplePairs(rand.New(rand.NewSource(opt.seed()+123)), nw.G.N(), offered)
+	var ok200 atomic.Int64
+	var latMu sync.Mutex
+	latencies := make([]time.Duration, 0, offered)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				p := pairs[c*perClient+i]
+				body := fmt.Sprintf(`{"s":%d,"t":%d}`, p[0], p[1])
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/route", "application/json", bytes.NewReader([]byte(body)))
+				took := time.Since(start)
+				if err == nil {
+					if resp.StatusCode == http.StatusOK {
+						ok200.Add(1)
+					}
+					resp.Body.Close()
+				}
+				latMu.Lock()
+				latencies = append(latencies, took)
+				latMu.Unlock()
+				time.Sleep(3 * time.Millisecond) // spread traffic across the schedule
+			}
+		}(c)
+	}
+	wg.Wait()
+	<-chaosDone
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	lost := uint64(0)
+	for _, in := range instances {
+		if in.Killed() {
+			continue
+		}
+		if err := in.Drain(ctx); err != nil {
+			return nil, fmt.Errorf("drain %s: %w", in.ID, err)
+		}
+		st := in.Server.ServerStats()
+		lost += st.Accepted - st.Completed
+	}
+
+	gst := g.Stats()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	row := &e23Row{
+		Chaos:        arm.name,
+		Hedge:        hedge,
+		Offered:      offered,
+		OK:           int(ok200.Load()),
+		Availability: float64(ok200.Load()) / float64(offered),
+		P99MS:        float64(p99.Microseconds()) / 1000,
+		Degraded:     gst.Degraded,
+		Shed:         gst.Shed,
+		Failovers:    gst.Failovers,
+		HedgeWins:    gst.HedgeWins,
+		Lost:         lost,
+	}
+	row.DegradedFrac = float64(row.Degraded) / float64(offered)
+	return row, nil
+}

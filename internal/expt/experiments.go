@@ -474,7 +474,7 @@ func E10(opt Options) (*Result, error) {
 // the churn robustness sweep (E19) and the hole-abstraction backend
 // comparison (E20).
 func All(opt Options) ([]*Result, error) {
-	fns := []func(Options) (*Result, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E22}
+	fns := []func(Options) (*Result, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E22, E23}
 	var out []*Result
 	for _, fn := range fns {
 		r, err := fn(opt)

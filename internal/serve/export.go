@@ -41,8 +41,12 @@ func (s *Server) maybeExport(force bool) {
 	}
 	s.lastExport = now
 	counters, gauges := s.reg.Snapshot()
+	resource := map[string]string{"service.name": "hybridroute-serve"}
+	if s.cfg.InstanceID != "" {
+		resource["service.instance.id"] = s.cfg.InstanceID
+	}
 	batch := exportBatch{
-		Resource: map[string]string{"service.name": "hybridroute-serve"},
+		Resource: resource,
 		TSUnixMS: now.UnixMilli(),
 		Counters: counters,
 		Gauges:   gauges,

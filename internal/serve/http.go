@@ -1,8 +1,11 @@
 // The HTTP/JSON face of the server: POST /route answers queries, GET /metrics
 // serves the live registry in Prometheus text format, GET /healthz and
-// GET /stats expose liveness and the admission accounting. Backpressure is
-// explicit on the wire: a shed admission is 429 Too Many Requests with a
-// Retry-After hint, a draining server is 503, an expired deadline is 504.
+// GET /readyz split liveness from readiness (healthz: the process is alive,
+// always ok; readyz: 503 before Start has brought the worker pool up and
+// during drain — the signal a cluster gateway keys failover off), and
+// GET /stats exposes the admission accounting. Backpressure is explicit on
+// the wire: a shed admission is 429 Too Many Requests with a Retry-After
+// hint, a draining server is 503, an expired deadline is 504.
 
 package serve
 
@@ -48,6 +51,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/route", s.handleRoute)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
@@ -136,14 +140,26 @@ func (s *Server) retryAfter() int {
 	return retryAfterHint(len(s.queue), math.Float64frombits(s.drainRate.Load()))
 }
 
+// coldStartRate is the drain rate (queries/sec) assumed before the fold loop
+// has observed a real one. Deliberately pessimistic: a cold server shedding
+// with backlog has demonstrated zero drainage, so the hint must grow with the
+// backlog instead of inviting every shed client straight back into a queue
+// nothing is emptying yet.
+const coldStartRate = 64.0
+
 // retryAfterHint is the pure derivation: the whole seconds the current
 // backlog needs to clear at the observed completion rate, at least 1, capped
 // at 30 — past that the hint stops being scheduling advice and becomes an
 // outage signal the client should answer with its own backoff. With no rate
-// observed yet (cold server) it degrades to the old constant of 1.
+// observed yet (cold server) the backlog is priced at the pessimistic
+// coldStartRate, so depth still scales the hint: the old constant of 1
+// applied even with hundreds of requests queued behind an unobserved drain.
 func retryAfterHint(depth int, rate float64) int {
-	if rate <= 0 || depth <= 0 {
+	if depth <= 0 {
 		return 1
+	}
+	if rate <= 0 {
+		rate = coldStartRate
 	}
 	secs := int(math.Ceil(float64(depth) / rate))
 	if secs < 1 {
@@ -163,7 +179,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(s.reg.PrometheusText()))
 }
 
+// handleHealthz is pure liveness: the process is up and handling HTTP. It
+// stays ok through a drain (the old combined endpoint flipped to 503 while
+// draining, which read as "restart me" to a process supervisor mid-drain);
+// routability moved to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: 503 until Start has completed bringing the
+// serving pool up, and 503 again once a drain begins. A gateway keys its
+// live-replica set off this endpoint — a backend that is alive but still
+// warming (or emptying its queue on the way down) must not receive traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "not started", http.StatusServiceUnavailable)
+		return
+	}
 	s.admMu.Lock()
 	draining := s.draining
 	s.admMu.Unlock()
@@ -171,7 +203,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	_, _ = w.Write([]byte("ok\n"))
+	_, _ = w.Write([]byte("ready\n"))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -136,14 +136,16 @@ func TestHTTPAPI(t *testing.T) {
 		}
 	}
 
-	// /healthz is ok while serving.
-	hResp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	hResp.Body.Close()
-	if hResp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /healthz = %d, want 200", hResp.StatusCode)
+	// /healthz (liveness) and /readyz (readiness) are both ok while serving.
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		hResp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hResp.Body.Close()
+		if hResp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", ep, hResp.StatusCode)
+		}
 	}
 
 	// /stats round-trips the accounting.
@@ -160,22 +162,76 @@ func TestHTTPAPI(t *testing.T) {
 		t.Fatalf("/stats accounting off: %+v", st)
 	}
 
-	// Draining: /healthz flips to 503 and new routes are 503.
+	// Draining: /readyz flips to 503 and new routes are 503, while /healthz
+	// (pure liveness) keeps answering ok — the process is still alive.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
-	hResp, err = http.Get(ts.URL + "/healthz")
+	rResp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rResp.Body.Close()
+	if rResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz while draining = %d, want 503", rResp.StatusCode)
+	}
+	hResp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hResp.Body.Close()
-	if hResp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("GET /healthz while draining = %d, want 503", hResp.StatusCode)
+	if hResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz while draining = %d, want 200 (liveness is not readiness)", hResp.StatusCode)
 	}
 	if resp, _ = postRoute(t, ts, `{"s":0,"t":5}`); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("POST /route while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestReadyzBeforeStart pins the readiness window a gateway depends on: a
+// server that has been built (preprocessing done, engine live) but not
+// Started answers /readyz with 503 and /healthz with 200, and flips ready
+// only once Start completes.
+func TestReadyzBeforeStart(t *testing.T) {
+	nw := testNetwork(t)
+	srv := newTestServer(t, nw, Config{Workers: 1, QueueSize: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(ep string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz before Start = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("GET /healthz before Start = %d, want 200", got)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() true before Start")
+	}
+	srv.Start()
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("GET /readyz after Start = %d, want 200", got)
+	}
+	if !srv.Ready() {
+		t.Fatal("Ready() false after Start")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() true after Shutdown")
 	}
 }
 
@@ -194,12 +250,18 @@ func TestRetryAfterDerivedFromDrainRate(t *testing.T) {
 		want  int
 	}{
 		{0, 100, 1},   // empty queue: come right back
-		{10, 0, 1},    // no rate observed yet: cold default
+		{10, 0, 1},    // cold start, shallow backlog: priced at coldStartRate
 		{10, 1000, 1}, // fast drain: floor at 1
 		{100, 50, 2},  // 100 queued at 50/s
 		{5, 2, 3},     // ceil(2.5)
 		{1000, 1, 30}, // wedged server: clamp
 		{7, -1, 1},    // defensive: negative rate
+		// Cold start with a real backlog: zero observed drain must not read
+		// as "come back in 1s" — the backlog scales the hint at the
+		// pessimistic assumed rate (640/64 = 10s), clamping like any other.
+		{640, 0, 10},
+		{64000, 0, 30},
+		{320, -1, 5}, // negative rate is the same cold-start path
 	}
 	for _, c := range cases {
 		if got := retryAfterHint(c.depth, c.rate); got != c.want {

@@ -89,6 +89,12 @@ type ChurnEvent struct {
 // 1024-entry queue, half-queue fair share, 250ms metrics folding and no
 // export.
 type Config struct {
+	// InstanceID names this server in a multi-instance deployment. It rides
+	// in /stats, in the export stream's resource block
+	// ("service.instance.id"), and in the drain summary, so a cluster
+	// gateway and the metrics rollup can attribute counters to instances.
+	// Empty is fine for a single-process deployment.
+	InstanceID string
 	// Workers is the serving pool size; <= 0 means GOMAXPROCS.
 	Workers int
 	// QueueSize bounds the admission queue; <= 0 means 1024.
@@ -179,7 +185,12 @@ type Server struct {
 	bg      sync.WaitGroup // background loops
 	stop    chan struct{}
 	started atomic.Bool
-	closed  atomic.Bool
+	// ready flips on once Start has brought the worker pool and background
+	// loops up, and off again when a drain begins. /readyz (the routability
+	// signal a cluster gateway keys failover off) reports it; /healthz stays
+	// pure liveness and keeps answering ok through a drain.
+	ready  atomic.Bool
+	closed atomic.Bool
 }
 
 // pubCounter publishes a monotone atomic into a named registry counter by
@@ -267,6 +278,22 @@ func (s *Server) Start() {
 		s.bg.Add(1)
 		go s.churnLoop()
 	}
+	// Ready only now: between New and here the engine's preprocessed state
+	// exists but nothing would answer a queued request, so a gateway that
+	// routed on /healthz alone would park traffic on a dead queue.
+	s.ready.Store(true)
+}
+
+// Ready reports whether the server is accepting and able to answer queries:
+// true from the end of Start until a drain begins.
+func (s *Server) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.admMu.Lock()
+	draining := s.draining
+	s.admMu.Unlock()
+	return !draining
 }
 
 // Submit admits one request without blocking: fn is invoked exactly once from
@@ -507,6 +534,7 @@ func (s *Server) fold() {
 
 // Stats is a point-in-time summary of the server's own accounting.
 type Stats struct {
+	Instance             string `json:",omitempty"`
 	Accepted, Completed  uint64
 	ShedFull, ShedFair   uint64
 	Expired, ChurnEvents uint64
@@ -518,6 +546,7 @@ type Stats struct {
 // ServerStats snapshots the admission and serving counters.
 func (s *Server) ServerStats() Stats {
 	return Stats{
+		Instance:       s.cfg.InstanceID,
 		Accepted:       s.accepted.Load(),
 		Completed:      s.completed.Load(),
 		ShedFull:       s.shedFull.Load(),
@@ -542,6 +571,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.ready.Store(false)
 	s.admMu.Lock()
 	s.draining = true
 	s.admMu.Unlock()

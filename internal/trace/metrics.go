@@ -101,6 +101,14 @@ var metricName = map[Kind]string{
 	KindRecover:    "hybridroute_sim_recoveries_total",
 	KindSuspect:    "hybridroute_transport_suspects_total",
 	KindRepair:     "hybridroute_core_repairs_total",
+
+	KindFailover:        "hybridroute_cluster_failovers_total",
+	KindBreakerOpen:     "hybridroute_cluster_breaker_open_total",
+	KindBreakerHalfOpen: "hybridroute_cluster_breaker_half_open_total",
+	KindBreakerClose:    "hybridroute_cluster_breaker_close_total",
+	KindHedge:           "hybridroute_cluster_hedges_total",
+	KindHedgeWin:        "hybridroute_cluster_hedge_wins_total",
+	KindDegraded:        "hybridroute_cluster_degraded_answers_total",
 }
 
 // MergeEvents folds a recorded event stream into the registry: one counter

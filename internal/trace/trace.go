@@ -56,6 +56,15 @@ const (
 	KindVerifyFail       // end-to-end verification gave up on a payload launch (From = source, To = target, Attempt = launch number)
 	KindE2EResend        // the source relaunched the payload after verification failed (Value = resends so far)
 
+	// Cluster gateway events (From = backend index; Plan = backend ID).
+	KindFailover        // an attempt failed and the query moved to the next replica (Attempt = attempts so far)
+	KindBreakerOpen     // a backend's circuit breaker tripped open (Value = consecutive failures)
+	KindBreakerHalfOpen // an open breaker released one half-open probe
+	KindBreakerClose    // a half-open probe succeeded and the breaker closed
+	KindHedge           // the hedge delay elapsed and a duplicate request was issued to the next replica
+	KindHedgeWin        // the hedged duplicate answered before the primary
+	KindDegraded        // every replica was down and the gateway answered degraded (Plan = "stale" or "longrange")
+
 	numKinds
 )
 
@@ -65,6 +74,7 @@ var kindNames = [numKinds]string{
 	"cache_hit", "cache_miss", "cache_evict", "queue_depth",
 	"crash", "recover", "suspect", "repair",
 	"misroute", "adv_drop", "forged_ack", "misroute_detected", "verify_fail", "e2e_resend",
+	"failover", "breaker_open", "breaker_half_open", "breaker_close", "hedge", "hedge_win", "degraded",
 }
 
 // String returns the stable snake_case name of the kind (also its JSON form).
